@@ -1,0 +1,67 @@
+"""Experiment ``fig2/eq2-6``: analytic background-equation checks.
+
+Regenerates the quantities the paper's background equations define for the
+evaluation configuration (128x128 crossbars, 1-bit cells/DAC, 8-bit
+weights/activations): the ideal ADC resolution (Eq. 2), the number of A/D
+conversions per MVM (Eq. 3) and the per-conversion energy scaling (Eq. 6),
+and micro-benchmarks the vectorised converter models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.adc import (
+    AdcEnergyParams,
+    TwinRangeAdc,
+    UniformAdc,
+    conversions_per_mvm,
+    ideal_adc_resolution,
+)
+from repro.core import TRQParams
+from repro.report import ExperimentRecord, format_table
+
+
+def test_eq2_eq3_analytics(benchmark, results_dir):
+    def run():
+        record = ExperimentRecord(
+            experiment_id="eq2-6",
+            description="Background-equation analytics for the evaluation setup",
+            paper_reference="Eq. 2 (ideal resolution), Eq. 3 (conversions/MVM), Eq. 6 (energy)",
+        )
+        for size in (64, 128, 256):
+            record.add_row(quantity=f"RADC,ideal (S={size}, 1-bit ops)",
+                           value=ideal_adc_resolution(size, 1, 1))
+        record.add_row(quantity="RADC,ideal (S=128, 2-bit cell)",
+                       value=ideal_adc_resolution(128, 1, 2))
+        for in_features, out_features in ((576, 64), (1152, 128), (2304, 256)):
+            record.add_row(
+                quantity=f"conversions/MVM (in={in_features}, out={out_features})",
+                value=conversions_per_mvm(128, in_features, out_features),
+            )
+        energy = AdcEnergyParams()
+        record.add_row(quantity="Econvert @ 8 ops (pJ)",
+                       value=energy.conversion_energy(8) * 1e12)
+        record.add_row(quantity="Econvert @ 4.5 ops (pJ)",
+                       value=energy.conversion_energy(1) * 4.5 * 1e12)
+        return record
+
+    record = benchmark.pedantic(run, rounds=1, iterations=1)
+    record.save(results_dir / "eq_analytics.json")
+    print()
+    print(record.to_table())
+    assert record.rows[1]["value"] == 8  # S=128, 1-bit operands -> 8 bits
+
+
+def test_adc_model_throughput_uniform(benchmark):
+    """Micro-benchmark: vectorised uniform conversion of a large BL block."""
+    adc = UniformAdc(bits=8, delta=1.0)
+    values = np.random.default_rng(0).uniform(0, 128, size=200_000)
+    benchmark(adc.convert, values)
+
+
+def test_adc_model_throughput_trq(benchmark):
+    """Micro-benchmark: vectorised twin-range conversion of a large BL block."""
+    adc = TwinRangeAdc(TRQParams(n_r1=2, n_r2=4, m=4, delta_r1=1.0))
+    values = np.random.default_rng(0).uniform(0, 128, size=200_000)
+    benchmark(adc.convert, values)

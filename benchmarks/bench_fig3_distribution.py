@@ -1,0 +1,47 @@
+"""Experiment ``fig3a``: distribution of crossbar bit-line outputs.
+
+Paper reference (Fig. 3a): the bit-line value distribution is highly
+imbalanced — the majority of samples concentrate in a small interval close
+to zero.  This benchmark collects the distributions on the calibration images
+of each workload and checks/records that imbalance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.report import fig3a_distribution_record
+
+
+def test_fig3a_bitline_distribution(benchmark, workloads, results_dir):
+    def run():
+        per_workload = {}
+        for name, workload in workloads.items():
+            samples = workload.simulator.collect_bitline_distributions(
+                workload.calibration.images[:16],
+                batch_size=8,
+                capacity_per_layer=50_000,
+                seed=0,
+            )
+            per_workload[name] = samples
+        return per_workload
+
+    per_workload = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    for name, samples in per_workload.items():
+        record = fig3a_distribution_record(samples, num_bins=16)
+        record.metadata.update({"workload": name, "calibration_images": 16})
+        record.save(results_dir / f"fig3a_{name}.json")
+        print()
+        print(record.to_table(
+            columns=["layer", "count", "median", "p95", "max", "frac_below_max_over_8"]
+        ))
+
+        pooled = np.concatenate(list(samples.values()))
+        # The reproduced claim: the pooled distribution is bottom-heavy.
+        assert np.median(pooled) <= pooled.max() / 4.0
+        low_mass = [
+            float(np.mean(v <= v.max() / 4.0)) if v.max() > 0 else 1.0
+            for v in samples.values()
+        ]
+        assert np.mean(np.array(low_mass) > 0.5) >= 0.6

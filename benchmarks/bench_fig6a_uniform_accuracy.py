@@ -1,0 +1,69 @@
+"""Experiment ``fig6a``: accuracy vs ADC resolution with a uniform ADC (no TRQ).
+
+Paper reference (Fig. 6a): with conventional uniform conversion, prediction
+accuracy degrades as the ADC sensing precision drops below ~7 bits; at 4 bits
+the drop is severe on most workloads.
+"""
+
+from __future__ import annotations
+
+from conftest import FIG6_BITS, eval_image_count
+
+from repro.core import uniform_adc_configs
+from repro.quantization import FakeQuantBackend, attach_backend, detach_backend
+from repro.nn import top1_accuracy
+from repro.report import fig6_accuracy_record, format_table
+
+
+def _reference_accuracies(workload, images, labels):
+    """The 'f/f' (float) and '8/f' (8-bit weights/activations) references."""
+    model = workload.model
+    model.eval()
+    float_acc = top1_accuracy(model(images), labels)
+    backend = FakeQuantBackend(workload.quantized)
+    attach_backend(model, backend)
+    try:
+        quant_acc = top1_accuracy(model(images), labels)
+    finally:
+        detach_backend(model)
+    return float_acc, quant_acc
+
+
+def test_fig6a_uniform_adc_accuracy(benchmark, workloads, results_dir):
+    num_eval = eval_image_count()
+
+    def run():
+        accuracy_by_config = {}
+        for name, workload in workloads.items():
+            split = workload.eval_split(num_eval)
+            images, labels = split.images, split.labels
+            float_acc, quant_acc = _reference_accuracies(workload, images, labels)
+            series = {"f/f": float_acc, "8/f": quant_acc}
+            samples = workload.simulator.collect_bitline_distributions(
+                workload.calibration.images[:16], batch_size=8, seed=0
+            )
+            for bits in FIG6_BITS:
+                result = workload.simulator.evaluate(
+                    images, labels, uniform_adc_configs(samples, bits=bits), batch_size=16
+                )
+                series[str(bits)] = result.accuracy
+            accuracy_by_config[name] = series
+        return accuracy_by_config
+
+    accuracy_by_config = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    record = fig6_accuracy_record(
+        "fig6a",
+        "Accuracy vs ADC resolution, uniform ADC (no TRQ)",
+        "Uniform quantization needs >= 7 bits to preserve accuracy (Fig. 6a)",
+        accuracy_by_config,
+    )
+    record.metadata["eval_images"] = num_eval
+    record.save(results_dir / "fig6a.json")
+    print()
+    print(format_table(record.rows))
+
+    for name, series in accuracy_by_config.items():
+        # Monotone-ish degradation: the lowest precision is never better than
+        # the full-resolution uniform configuration by a meaningful margin.
+        assert series["4"] <= series["8"] + 0.05

@@ -1,0 +1,79 @@
+"""Experiment ``fig7``: accelerator power/energy breakdown.
+
+Paper reference (Fig. 7): ADC dominates the ISAAC baseline power (the paper's
+motivation quotes >60%); the TRQ design significantly reduces the ADC
+component without touching the crossbar/DAC/buffer/register/router
+components, and beats the reduced-resolution uniform-ADC alternative that
+reaches comparable accuracy (7-8 bits).
+"""
+
+from __future__ import annotations
+
+from conftest import eval_image_count
+
+from repro.arch import AcceleratorMapping, PowerModel, breakdown_table, compare_configurations
+from repro.core import CoDesignOptimizer, SearchSpaceConfig
+from repro.nn.models import workload_info
+from repro.report import fig7_power_record, format_table
+
+
+def test_fig7_power_breakdown(benchmark, workloads, results_dir):
+    num_eval = eval_image_count()
+
+    def run():
+        comparisons = []
+        for name, workload in workloads.items():
+            split = workload.eval_split(num_eval)
+            optimizer = CoDesignOptimizer(
+                workload.model,
+                workload.calibration.images,
+                workload.calibration.labels,
+                search_space=SearchSpaceConfig(num_v_grid_candidates=16),
+                max_samples_per_layer=8192,
+            )
+            result = optimizer.run(
+                split.images, split.labels, batch_size=16,
+                use_accuracy_loop=False, initial_n_max=4,
+            )
+            trq_eval = workload.simulator.evaluate(
+                split.images, split.labels, result.adc_configs, batch_size=16
+            )
+            trq_ops = {
+                layer: stats.mean_ops_per_conversion
+                for layer, stats in trq_eval.layer_stats.items()
+            }
+            info = workload_info(name)
+            image_shape = (info["in_channels"], info["image_size"], info["image_size"])
+            mapping = AcceleratorMapping(workload.quantized, image_shape)
+            # The uniform alternative needs 7-8 bits for comparable accuracy.
+            comparisons.append(
+                compare_configurations(name, mapping, trq_ops, uniform_bits=7,
+                                       power_model=PowerModel())
+            )
+        return comparisons
+
+    comparisons = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = breakdown_table(comparisons)
+    record = fig7_power_record(rows)
+    record.metadata["adc_reduction_vs_isaac"] = {
+        c.workload: c.adc_reduction_vs_baseline("Ours/4b") for c in comparisons
+    }
+    record.save(results_dir / "fig7.json")
+    print()
+    print(format_table(rows))
+
+    for comparison in comparisons:
+        baseline = comparison.by_label("ISAAC")
+        ours = comparison.by_label("Ours/4b")
+        uq = comparison.by_label("UQ(7b)")
+        fractions = baseline.fractions()
+        # ADC is the dominant component of the baseline...
+        assert fractions["ADC"] == max(fractions.values())
+        assert fractions["ADC"] > 0.5
+        # ...TRQ reduces ADC energy substantially and beats the UQ alternative...
+        assert comparison.adc_reduction_vs_baseline("Ours/4b") > 1.3
+        assert ours.per_component["ADC"] < uq.per_component["ADC"]
+        # ...while all other components are untouched.
+        for component in ("Crossbar", "DAC", "Buffer", "Register", "Bus&Router"):
+            assert ours.per_component[component] == baseline.per_component[component]

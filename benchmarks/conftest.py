@@ -1,0 +1,71 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*`` module regenerates one figure (or ablation) of the paper.
+Workload preparation (training + PTQ) is shared through a session fixture and
+cached on disk under ``benchmarks/.cache`` so repeated benchmark runs skip
+training.
+
+Scale knobs (environment variables):
+
+* ``REPRO_BENCH_WORKLOADS`` — comma-separated workload names.  Defaults to
+  ``lenet5,resnet20``; set it to
+  ``lenet5,resnet20,resnet18,squeezenet1_1`` to regenerate the figures over
+  all four networks of the paper (slower).
+* ``REPRO_BENCH_PRESET`` — model preset (``tiny`` default, ``small``/``paper``).
+* ``REPRO_BENCH_EVAL_IMAGES`` — evaluation images per workload (default 32).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict
+
+import pytest
+
+from repro.workloads import PreparedWorkload, prepare_workload
+
+BENCH_DIR = Path(__file__).parent
+CACHE_DIR = BENCH_DIR / ".cache"
+RESULTS_DIR = BENCH_DIR / "results"
+
+#: Sensing precisions swept in Fig. 6 (paper: 8, 7, 6, 5, 4).
+FIG6_BITS = (8, 7, 6, 5, 4)
+
+
+def _selected_workloads() -> list:
+    raw = os.environ.get("REPRO_BENCH_WORKLOADS", "lenet5,resnet20")
+    return [name.strip() for name in raw.split(",") if name.strip()]
+
+
+def _preset() -> str:
+    return os.environ.get("REPRO_BENCH_PRESET", "tiny")
+
+
+def eval_image_count() -> int:
+    return int(os.environ.get("REPRO_BENCH_EVAL_IMAGES", "32"))
+
+
+@pytest.fixture(scope="session")
+def workloads() -> Dict[str, PreparedWorkload]:
+    """Trained + quantized workloads shared by every benchmark."""
+    prepared = {}
+    for name in _selected_workloads():
+        epochs = 20 if name == "lenet5" else 12
+        prepared[name] = prepare_workload(
+            name,
+            preset=_preset(),
+            train_size=256,
+            test_size=96,
+            calibration_images=32,
+            epochs=epochs,
+            seed=0,
+            cache_dir=str(CACHE_DIR),
+        )
+    return prepared
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR

@@ -1,0 +1,63 @@
+"""Bit-line value distribution analysis (paper Fig. 3a and Section IV-B).
+
+Collects the analog values appearing at the crossbar bit lines of a trained
+network, prints a text histogram per layer, and shows how the co-design
+search classifies each layer's distribution (ideal / normal / other) — the
+information Algorithm 1 uses to pick its search strategy.
+
+Run with:  python examples/distribution_analysis.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import summarize_distribution
+from repro.report import ascii_bar_chart, format_table
+from repro.workloads import prepare_workload
+
+
+def main() -> None:
+    workload = prepare_workload(
+        "resnet20", preset="tiny", train_size=256, test_size=64,
+        calibration_images=16, seed=1,
+    )
+    print(f"workload: {workload.name} ({workload.preset}), "
+          f"float accuracy {workload.float_accuracy:.3f}\n")
+
+    samples_by_layer = workload.simulator.collect_bitline_distributions(
+        workload.calibration.images[:8], batch_size=8, capacity_per_layer=50_000
+    )
+
+    rows = []
+    for name, samples in samples_by_layer.items():
+        summary = summarize_distribution(samples)
+        rows.append({
+            "layer": name,
+            "type": summary.kind.value,
+            "max": round(summary.maximum, 1),
+            "mean": round(summary.mean, 2),
+            "skewness": round(summary.skewness, 2),
+            "mass in low 1/8": round(summary.mass_in_low_eighth, 2),
+            "modes": summary.num_modes,
+        })
+    print("Per-layer distribution classification (Algorithm 1, line 5):")
+    print(format_table(rows))
+
+    # Histogram of one representative convolution layer, Fig. 3a style.
+    name = rows[len(rows) // 2]["layer"]
+    samples = samples_by_layer[name]
+    counts, edges = np.histogram(samples, bins=16)
+    chart = {
+        f"[{edges[i]:5.1f},{edges[i + 1]:5.1f})": int(count)
+        for i, count in enumerate(counts)
+    }
+    print(f"\nValue histogram of layer '{name}' "
+          f"({samples.size} sampled bit-line values):")
+    print(ascii_bar_chart(chart, width=50))
+    print("\nThe mass concentrates near zero with a sparse tail — exactly the "
+          "imbalance the paper's Twin-Range Quantization exploits.")
+
+
+if __name__ == "__main__":
+    main()

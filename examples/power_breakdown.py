@@ -1,0 +1,70 @@
+"""Accelerator power/energy breakdown (paper Fig. 7).
+
+Builds the ISAAC-style workload mapping of a network, measures the per-layer
+A/D operation counts with the calibrated TRQ configuration, and prints the
+per-component energy breakdown for the ISAAC baseline, the TRQ design and a
+reduced-resolution uniform ADC.
+
+Run with:  python examples/power_breakdown.py
+"""
+
+from __future__ import annotations
+
+from repro.arch import AcceleratorMapping, PowerModel, compare_configurations
+from repro.core import CoDesignOptimizer, SearchSpaceConfig
+from repro.nn.models import workload_info
+from repro.report import ascii_bar_chart, format_table
+from repro.workloads import prepare_workload
+
+
+def main() -> None:
+    workload = prepare_workload(
+        "resnet20", preset="tiny", train_size=256, test_size=64,
+        calibration_images=16, seed=1,
+    )
+    info = workload_info(workload.name)
+    eval_split = workload.eval_split(32)
+
+    # Calibrate TRQ and measure per-layer mean A/D operations per conversion.
+    optimizer = CoDesignOptimizer(
+        workload.model, workload.calibration.images, workload.calibration.labels,
+        search_space=SearchSpaceConfig(num_v_grid_candidates=12),
+    )
+    result = optimizer.run(eval_split.images, eval_split.labels, batch_size=16,
+                           use_accuracy_loop=False, initial_n_max=4)
+    trq_eval = workload.simulator.evaluate(
+        eval_split.images, eval_split.labels, result.adc_configs, batch_size=16
+    )
+    trq_ops = {
+        name: stats.mean_ops_per_conversion
+        for name, stats in trq_eval.layer_stats.items()
+    }
+
+    image_shape = (info["in_channels"], info["image_size"], info["image_size"])
+    mapping = AcceleratorMapping(workload.quantized, image_shape)
+    comparison = compare_configurations(
+        workload.name, mapping, trq_ops, uniform_bits=7, power_model=PowerModel()
+    )
+
+    rows = []
+    for breakdown in comparison.breakdowns:
+        row = {"config": breakdown.label, "total (nJ/inference)": round(breakdown.total * 1e9, 1)}
+        row.update({k: round(v * 1e9, 1) for k, v in breakdown.per_component.items()})
+        rows.append(row)
+    print(f"workload: {workload.name}; accelerator mapping: {mapping.summary()}")
+    print(format_table(rows))
+
+    baseline = comparison.by_label("ISAAC")
+    ours = comparison.by_label("Ours/4b")
+    print("\nISAAC baseline component shares:")
+    print(ascii_bar_chart({k: round(v, 3) for k, v in baseline.fractions().items()}))
+    print(f"\nADC energy reduction (Ours vs ISAAC):   "
+          f"{comparison.adc_reduction_vs_baseline('Ours/4b'):.2f}x")
+    print(f"Total energy reduction (Ours vs ISAAC): "
+          f"{comparison.total_reduction_vs_baseline('Ours/4b'):.2f}x")
+    print(f"TRQ accuracy on the evaluation subset:  {trq_eval.accuracy:.3f} "
+          f"(ideal {result.baseline_accuracy:.3f})")
+
+
+if __name__ == "__main__":
+    main()

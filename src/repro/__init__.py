@@ -1,0 +1,50 @@
+"""Reproduction of "Algorithm-Hardware Co-Design for Energy-Efficient A/D
+Conversion in ReRAM-Based Accelerators" (DATE 2024).
+
+The package is organised bottom-up:
+
+* :mod:`repro.nn`, :mod:`repro.datasets` -- NumPy DNN framework and synthetic
+  datasets (substitutes for PyTorch and MNIST/CIFAR/ImageNet).
+* :mod:`repro.quantization` -- the 8-bit post-training quantization datapath.
+* :mod:`repro.crossbar`, :mod:`repro.adc` -- ReRAM crossbar and SAR-ADC
+  behavioural models, including the paper's Twin-Range SAR ADC.
+* :mod:`repro.core` -- the paper's contribution: Twin Range Quantization,
+  bit-line distribution analysis and the algorithm-hardware co-design search
+  (Algorithm 1).
+* :mod:`repro.arch`, :mod:`repro.sim` -- ISAAC-style accelerator model and the
+  end-to-end PIM simulator used by the evaluation benchmarks.
+* :mod:`repro.report` -- tabulation helpers that regenerate the paper's
+  figures as text series.
+* :mod:`repro.workloads` -- one-call preparation of the paper's four
+  evaluation workloads (train, calibrate, quantize, simulate).
+
+Quickstart::
+
+    from repro.workloads import prepare_workload
+    from repro.core import CoDesignOptimizer
+
+    wl = prepare_workload("lenet5", preset="tiny")
+    optimizer = CoDesignOptimizer(wl.model, wl.calibration.images, wl.calibration.labels)
+    result = optimizer.run(wl.dataset.test.images[:64], wl.dataset.test.labels[:64])
+    print(result.final_accuracy, result.ops_reduction_factor)
+
+See ``DESIGN.md`` for the full system inventory and ``EXPERIMENTS.md`` for
+paper-vs-measured results.
+"""
+
+from repro.core.co_design import CoDesignOptimizer, CoDesignResult
+from repro.core.trq import TRQParams, twin_range_quantize
+from repro.workloads import PreparedWorkload, prepare_all_workloads, prepare_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CoDesignOptimizer",
+    "CoDesignResult",
+    "PreparedWorkload",
+    "TRQParams",
+    "__version__",
+    "prepare_all_workloads",
+    "prepare_workload",
+    "twin_range_quantize",
+]

@@ -1,0 +1,41 @@
+"""SAR ADC substrate: uniform / non-uniform / twin-range converters.
+
+The cycle-accurate models (:mod:`repro.adc.sar`) define the behaviour; the
+vectorised models (:mod:`repro.adc.uniform`, :mod:`repro.adc.trq`) are the
+ones the simulator uses for throughput and are tested to agree with the
+cycle-accurate reference.  Energy accounting follows paper Eq. 2-6.
+"""
+
+from repro.adc.config import AdcConfig, AdcMode, twin_range_config, uniform_config
+from repro.adc.counters import ConversionStats
+from repro.adc.energy import (
+    DEFAULT_ADC_ENERGY,
+    AdcEnergyParams,
+    conversions_per_mvm,
+    ideal_adc_resolution,
+)
+from repro.adc.nonuniform import NonUniformAdc
+from repro.adc.sar import ConversionTrace, SarAdc, TwinRangeSarAdc, build_cycle_accurate_adc
+from repro.adc.trq import TwinRangeAdc, build_adc
+from repro.adc.uniform import UniformAdc, ideal_adc_for_resolution
+
+__all__ = [
+    "AdcConfig",
+    "AdcEnergyParams",
+    "AdcMode",
+    "ConversionStats",
+    "ConversionTrace",
+    "DEFAULT_ADC_ENERGY",
+    "NonUniformAdc",
+    "SarAdc",
+    "TwinRangeAdc",
+    "TwinRangeSarAdc",
+    "UniformAdc",
+    "build_adc",
+    "build_cycle_accurate_adc",
+    "conversions_per_mvm",
+    "ideal_adc_for_resolution",
+    "ideal_adc_resolution",
+    "twin_range_config",
+    "uniform_config",
+]

@@ -1,0 +1,104 @@
+"""ADC configuration register model.
+
+The paper's hardware stores the per-layer conversion configuration in a small
+register file next to the ADC and the shift-and-add module (Section III-D2c):
+output bit-widths ``NR1``/``NR2``, step sizes, the non-uniformity degree
+``M``, the range offset ``bias`` and the mode (twin-range or plain uniform).
+:class:`AdcConfig` is the software mirror of that register file and is what
+the calibration search (Algorithm 1) produces for every layer.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Optional
+
+from repro.core.trq import TRQParams
+from repro.utils.validation import check_in_range, check_integer, check_positive
+
+
+class AdcMode(str, enum.Enum):
+    """Operating mode of the configurable SAR ADC."""
+
+    UNIFORM = "uniform"
+    TWIN_RANGE = "twin_range"
+
+
+@dataclasses.dataclass(frozen=True)
+class AdcConfig:
+    """Per-layer ADC configuration.
+
+    Attributes
+    ----------
+    resolution:
+        Physical resolution ``RADC`` of the SAR ADC (unchanged by TRQ; 8 in
+        the paper's setup).
+    mode:
+        ``UNIFORM`` (conventional binary search over the full grid) or
+        ``TWIN_RANGE`` (the paper's modified search).
+    v_grid:
+        The minimum voltage step expressed in bit-line level units — i.e. the
+        value represented by one LSB of the full-precision grid.  Configured
+        per layer by adjusting ``Vref`` or the TIA gain (Section III-D2a).
+    uniform_bits:
+        Sensing precision used in UNIFORM mode (≤ ``resolution``).
+    trq:
+        Twin-range parameters used in TWIN_RANGE mode.
+    """
+
+    resolution: int = 8
+    mode: AdcMode = AdcMode.UNIFORM
+    v_grid: float = 1.0
+    uniform_bits: Optional[int] = None
+    trq: Optional[TRQParams] = None
+
+    def __post_init__(self) -> None:
+        check_in_range(check_integer(self.resolution, "resolution"), "resolution", low=1, high=16)
+        check_positive(self.v_grid, "v_grid")
+        if self.mode == AdcMode.UNIFORM:
+            bits = self.uniform_bits if self.uniform_bits is not None else self.resolution
+            check_in_range(check_integer(bits, "uniform_bits"), "uniform_bits",
+                           low=1, high=self.resolution)
+        elif self.mode == AdcMode.TWIN_RANGE:
+            if self.trq is None:
+                raise ValueError("TWIN_RANGE mode requires trq parameters")
+            if max(self.trq.n_r1, self.trq.n_r2) > self.resolution:
+                raise ValueError(
+                    "sensing precision cannot exceed the ADC resolution: "
+                    f"NR1={self.trq.n_r1}, NR2={self.trq.n_r2}, RADC={self.resolution}"
+                )
+            if self.trq.m > self.resolution - self.trq.n_r2:
+                raise ValueError(
+                    "non-uniform degree M must satisfy M <= RADC - NR2 "
+                    f"(M={self.trq.m}, NR2={self.trq.n_r2}, RADC={self.resolution})"
+                )
+        else:  # pragma: no cover - enum exhausts the cases
+            raise ValueError(f"unknown mode {self.mode!r}")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def effective_uniform_bits(self) -> int:
+        """Sensing precision in UNIFORM mode (defaults to the full resolution)."""
+        return self.uniform_bits if self.uniform_bits is not None else self.resolution
+
+    @property
+    def full_scale(self) -> float:
+        """Largest representable value: ``(2^RADC − 1) · v_grid``."""
+        return ((1 << self.resolution) - 1) * self.v_grid
+
+    def with_v_grid(self, v_grid: float) -> "AdcConfig":
+        """A copy of this configuration with a different ``v_grid``."""
+        return dataclasses.replace(self, v_grid=v_grid)
+
+
+def uniform_config(resolution: int = 8, bits: Optional[int] = None, v_grid: float = 1.0) -> AdcConfig:
+    """Convenience constructor for a conventional uniform SAR configuration."""
+    return AdcConfig(resolution=resolution, mode=AdcMode.UNIFORM, v_grid=v_grid, uniform_bits=bits)
+
+
+def twin_range_config(
+    trq: TRQParams, resolution: int = 8, v_grid: float = 1.0
+) -> AdcConfig:
+    """Convenience constructor for a twin-range configuration."""
+    return AdcConfig(resolution=resolution, mode=AdcMode.TWIN_RANGE, v_grid=v_grid, trq=trq)

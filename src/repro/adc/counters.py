@@ -1,0 +1,73 @@
+"""Conversion statistics accumulated by the ADC models.
+
+The evaluation needs, per layer and per network, the total number of A/D
+conversions and A/D operations (paper Fig. 6c reports the *remaining*
+fraction of operations relative to the 8-op/conversion baseline) plus how
+many samples landed in each twin range.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass
+class ConversionStats:
+    """Running counters over all conversions performed by one ADC instance."""
+
+    conversions: int = 0
+    operations: int = 0
+    detection_operations: int = 0
+    in_r1: int = 0
+    in_r2: int = 0
+
+    def record(
+        self,
+        conversions: int,
+        operations: int,
+        detection_operations: int = 0,
+        in_r1: int = 0,
+        in_r2: int = 0,
+    ) -> None:
+        """Accumulate one batch of conversions."""
+        self.conversions += int(conversions)
+        self.operations += int(operations)
+        self.detection_operations += int(detection_operations)
+        self.in_r1 += int(in_r1)
+        self.in_r2 += int(in_r2)
+
+    def merge(self, other: "ConversionStats") -> None:
+        """Fold another counter into this one (used to aggregate layers)."""
+        self.conversions += other.conversions
+        self.operations += other.operations
+        self.detection_operations += other.detection_operations
+        self.in_r1 += other.in_r1
+        self.in_r2 += other.in_r2
+
+    def reset(self) -> None:
+        self.conversions = 0
+        self.operations = 0
+        self.detection_operations = 0
+        self.in_r1 = 0
+        self.in_r2 = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def mean_ops_per_conversion(self) -> float:
+        """Average A/D operations per conversion (including detection)."""
+        if self.conversions == 0:
+            return 0.0
+        return self.operations / self.conversions
+
+    @property
+    def r1_fraction(self) -> float:
+        """Fraction of conversions resolved inside the dense range R1."""
+        total = self.in_r1 + self.in_r2
+        return self.in_r1 / total if total else 0.0
+
+    def remaining_fraction(self, baseline_ops_per_conversion: int) -> float:
+        """Operations relative to a fixed-resolution baseline (paper Fig. 6c)."""
+        if self.conversions == 0:
+            return 0.0
+        baseline = self.conversions * baseline_ops_per_conversion
+        return self.operations / baseline if baseline else 0.0

@@ -1,0 +1,108 @@
+"""ADC energy model (paper Eq. 2-6).
+
+The SAR architecture makes energy essentially proportional to the number of
+A/D *operations* (comparator + capacitive-DAC switching steps), which is the
+quantity the paper's TRQ scheme reduces.  The constants default to values
+representative of the 8-bit SAR ADC the paper references [20]; they can be
+overridden, and everything downstream (Fig. 6c, Fig. 7) is reported
+relatively so the conclusions do not hinge on the absolute numbers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.adc.counters import ConversionStats
+from repro.utils.validation import check_in_range, check_integer, check_positive
+
+
+def ideal_adc_resolution(crossbar_size: int, dac_bits: int = 1, cell_bits: int = 1) -> int:
+    """Paper Eq. 2: minimum lossless ADC resolution for a crossbar MVM.
+
+    ``RADC,ideal = log2(S) + RDA + Rcell + δ`` with ``δ = −1`` when both the
+    DAC and the cell are single-bit (the common architecture-level setting,
+    giving ``log2(S) + 1``), else ``δ = 0``.
+    """
+    import math
+
+    check_in_range(check_integer(crossbar_size, "crossbar_size"), "crossbar_size", low=2)
+    check_in_range(check_integer(dac_bits, "dac_bits"), "dac_bits", low=1)
+    check_in_range(check_integer(cell_bits, "cell_bits"), "cell_bits", low=1)
+    delta = -1 if (dac_bits == 1 and cell_bits == 1) else 0
+    return int(math.ceil(math.log2(crossbar_size))) + dac_bits + cell_bits + delta
+
+
+def conversions_per_mvm(
+    crossbar_size: int,
+    in_features: int,
+    out_features: int,
+    weight_bits: int = 8,
+    activation_bits: int = 8,
+    cell_bits: int = 1,
+    dac_bits: int = 1,
+    differential: bool = True,
+) -> int:
+    """Number of A/D conversions needed for one MVM (paper Eq. 3's middle term).
+
+    Every (input cycle, weight plane, row segment, output column, sign)
+    combination requires one conversion: ``Kw/Rcell × Ki/RDA`` per bit line,
+    times the segments and the differential pair.
+    """
+    segments = -(-in_features // crossbar_size)
+    weight_planes = -(-(weight_bits - (1 if differential else 0)) // cell_bits)
+    input_cycles = -(-activation_bits // dac_bits)
+    signs = 2 if differential else 1
+    return input_cycles * weight_planes * segments * signs * out_features
+
+
+@dataclasses.dataclass(frozen=True)
+class AdcEnergyParams:
+    """Energy constants of the SAR ADC.
+
+    Attributes
+    ----------
+    energy_per_operation:
+        ``eop`` in joules — energy of one comparator + DAC-settling step.
+        Default 0.25 pJ, i.e. a 2 pJ 8-bit conversion, representative of the
+        referenced 8-bit SAR design [20] at the paper's 100 MHz system clock.
+    static_power:
+        Converter static/leakage power in watts (added on a time basis by the
+        architecture model, not per operation).
+    """
+
+    energy_per_operation: float = 0.25e-12
+    static_power: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.energy_per_operation, "energy_per_operation")
+        check_in_range(self.static_power, "static_power", low=0.0)
+
+    # ------------------------------------------------------------------ #
+    def conversion_energy(self, operations: int) -> float:
+        """Paper Eq. 6: ``Econvert = eop · N_A/D_ops``."""
+        if operations < 0:
+            raise ValueError(f"operations must be non-negative, got {operations}")
+        return self.energy_per_operation * operations
+
+    def energy_from_stats(self, stats: ConversionStats) -> float:
+        """Total dynamic conversion energy for accumulated statistics."""
+        return self.conversion_energy(stats.operations)
+
+    def total_inference_energy(
+        self,
+        mvms_per_inference: int,
+        conversions_per_mvm_count: int,
+        ops_per_conversion: float,
+    ) -> float:
+        """Paper Eq. 3-4: ``E_ADC,tot = #MVMs × #conversions/MVM × Econvert``."""
+        if mvms_per_inference < 0 or conversions_per_mvm_count < 0:
+            raise ValueError("counts must be non-negative")
+        return (
+            mvms_per_inference
+            * conversions_per_mvm_count
+            * self.conversion_energy(1)
+            * ops_per_conversion
+        )
+
+
+DEFAULT_ADC_ENERGY = AdcEnergyParams()

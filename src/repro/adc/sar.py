@@ -1,0 +1,178 @@
+"""Cycle-accurate SAR ADC models.
+
+These classes simulate the successive-approximation search step by step —
+DAC threshold, comparator decision, register update — exactly as described in
+paper Section II-D (conventional binary search) and Section III-D2a (the
+twin-range search with its extra detection phase, "early bird" path in R1 and
+"early stopping" path in R2).
+
+They are intentionally scalar and slow: their job is to *define* the
+behaviour (number of A/D operations and produced code for any input voltage)
+so that the vectorised models in :mod:`repro.adc.uniform` and
+:mod:`repro.adc.trq` — which the simulator uses for throughput — can be
+verified against them step by step in the test suite.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.adc.config import AdcConfig, AdcMode
+from repro.core.trq import TRQParams
+
+
+@dataclasses.dataclass
+class ConversionTrace:
+    """Record of one A/D conversion for inspection and verification."""
+
+    input_value: float
+    output_value: float
+    output_code: int
+    operations: int
+    detection_operations: int
+    in_r1: Optional[bool]
+    thresholds: List[float]
+    decisions: List[bool]
+
+
+class SarAdc:
+    """Conventional uniform SAR ADC performing a K-step binary search.
+
+    The DAC grid has ``2^bits`` levels spaced ``delta`` apart starting at
+    zero; thresholds sit halfway between adjacent levels, so the produced
+    code equals ``round(v / delta)`` clamped to the code range — the behaviour
+    the vectorised :class:`repro.adc.uniform.UniformAdc` must reproduce.
+    """
+
+    def __init__(self, bits: int, delta: float) -> None:
+        if bits < 1:
+            raise ValueError(f"bits must be >= 1, got {bits}")
+        if delta <= 0:
+            raise ValueError(f"delta must be positive, got {delta}")
+        self.bits = int(bits)
+        self.delta = float(delta)
+
+    def convert(self, value: float) -> ConversionTrace:
+        """Run the binary search for a single held voltage."""
+        value = float(value)
+        code = 0
+        thresholds: List[float] = []
+        decisions: List[bool] = []
+        # MSB-first successive approximation: try each bit with "1", keep it
+        # if the DAC threshold is below the input.
+        for k in reversed(range(self.bits)):
+            trial = code | (1 << k)
+            threshold = (trial - 0.5) * self.delta
+            decision = value >= threshold
+            thresholds.append(threshold)
+            decisions.append(bool(decision))
+            if decision:
+                code = trial
+        return ConversionTrace(
+            input_value=value,
+            output_value=code * self.delta,
+            output_code=code,
+            operations=self.bits,
+            detection_operations=0,
+            in_r1=None,
+            thresholds=thresholds,
+            decisions=decisions,
+        )
+
+
+class TwinRangeSarAdc:
+    """Cycle-accurate SAR ADC with the paper's twin-range control logic.
+
+    The conversion proceeds in two phases:
+
+    1. **Detection phase** — one comparison against the upper edge of R1 (two
+       when R1 is offset away from zero, because the lower edge must be
+       checked as well).  This is the ``ν`` overhead of paper Eq. 9.
+    2. **Binary search** — an ``NR1``-step search on the dense ``ΔR1`` grid
+       when the sample lies in R1 ("early bird"), otherwise an ``NR2``-step
+       search on the coarse ``ΔR2`` grid ("early stopping": the search stops
+       after ``NR2`` steps even though the code is not fully resolved at the
+       original resolution).
+    """
+
+    def __init__(self, params: TRQParams) -> None:
+        self.params = params
+
+    def _binary_search(
+        self, value: float, bits: int, delta: float, origin: float
+    ) -> Tuple[int, List[float], List[bool]]:
+        code = 0
+        thresholds: List[float] = []
+        decisions: List[bool] = []
+        for k in reversed(range(bits)):
+            trial = code | (1 << k)
+            threshold = origin + (trial - 0.5) * delta
+            decision = value >= threshold
+            thresholds.append(threshold)
+            decisions.append(bool(decision))
+            if decision:
+                code = trial
+        return code, thresholds, decisions
+
+    def convert(self, value: float) -> ConversionTrace:
+        value = float(value)
+        params = self.params
+        thresholds: List[float] = []
+        decisions: List[bool] = []
+
+        # Detection phase.
+        upper = params.r1_high
+        below_upper = value < upper
+        thresholds.append(upper)
+        decisions.append(bool(below_upper))
+        detection_ops = 1
+        in_r1 = below_upper
+        if params.bias > 0:
+            lower = params.r1_low
+            above_lower = value >= lower
+            thresholds.append(lower)
+            decisions.append(bool(above_lower))
+            detection_ops = 2
+            in_r1 = below_upper and above_lower
+
+        if in_r1:
+            code, search_thresholds, search_decisions = self._binary_search(
+                value, params.n_r1, params.delta_r1, params.r1_low
+            )
+            output = params.r1_low + code * params.delta_r1
+            search_ops = params.n_r1
+            payload_bits = max(params.n_r1, params.n_r2)
+            full_code = code  # MSB (range bit) = 0
+        else:
+            code, search_thresholds, search_decisions = self._binary_search(
+                value, params.n_r2, params.delta_r2, 0.0
+            )
+            output = code * params.delta_r2
+            search_ops = params.n_r2
+            payload_bits = max(params.n_r1, params.n_r2)
+            full_code = (1 << payload_bits) | code
+
+        thresholds.extend(search_thresholds)
+        decisions.extend(search_decisions)
+        return ConversionTrace(
+            input_value=value,
+            output_value=output,
+            output_code=full_code,
+            operations=detection_ops + search_ops,
+            detection_operations=detection_ops,
+            in_r1=bool(in_r1),
+            thresholds=thresholds,
+            decisions=decisions,
+        )
+
+
+def build_cycle_accurate_adc(config: AdcConfig):
+    """Instantiate the cycle-accurate model matching an :class:`AdcConfig`."""
+    if config.mode == AdcMode.UNIFORM:
+        delta = config.v_grid * (1 << (config.resolution - config.effective_uniform_bits))
+        return SarAdc(bits=config.effective_uniform_bits, delta=delta)
+    assert config.trq is not None
+    return TwinRangeSarAdc(params=config.trq)

@@ -1,0 +1,86 @@
+"""Fig. 7-style comparisons: ISAAC baseline vs TRQ vs reduced-precision UQ.
+
+Combines the workload mapping, the power model and measured (or predicted)
+per-layer A/D operation counts into the grouped breakdown the paper plots.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Mapping, Optional
+
+from repro.arch.mapping import AcceleratorMapping
+from repro.arch.power import COMPONENTS, EnergyBreakdown, PowerModel
+
+
+@dataclasses.dataclass
+class WorkloadComparison:
+    """All breakdowns of one workload (one network/dataset pair)."""
+
+    workload: str
+    breakdowns: List[EnergyBreakdown]
+
+    def by_label(self, label: str) -> EnergyBreakdown:
+        for breakdown in self.breakdowns:
+            if breakdown.label == label:
+                return breakdown
+        raise KeyError(f"no breakdown labelled '{label}' for workload '{self.workload}'")
+
+    @property
+    def labels(self) -> List[str]:
+        return [b.label for b in self.breakdowns]
+
+    def adc_reduction_vs_baseline(self, label: str, baseline_label: str = "ISAAC") -> float:
+        """Factor by which the ADC energy shrank relative to the baseline."""
+        baseline_adc = self.by_label(baseline_label).per_component["ADC"]
+        target_adc = self.by_label(label).per_component["ADC"]
+        return baseline_adc / target_adc if target_adc > 0 else float("inf")
+
+    def total_reduction_vs_baseline(self, label: str, baseline_label: str = "ISAAC") -> float:
+        baseline_total = self.by_label(baseline_label).total
+        target_total = self.by_label(label).total
+        return baseline_total / target_total if target_total > 0 else float("inf")
+
+
+def compare_configurations(
+    workload: str,
+    mapping: AcceleratorMapping,
+    trq_ops_per_conversion: Mapping[str, float],
+    uniform_bits: int,
+    power_model: Optional[PowerModel] = None,
+    trq_label: str = "Ours/4b",
+) -> WorkloadComparison:
+    """Build the paper's three-way comparison for one workload.
+
+    Parameters
+    ----------
+    trq_ops_per_conversion:
+        Per-layer mean A/D operations per conversion measured with the
+        calibrated TRQ configuration (simulator output).
+    uniform_bits:
+        Resolution of the uniform-ADC alternative that reaches comparable
+        accuracy (7 or 8 bits in the paper's Fig. 7).
+    """
+    model = power_model or PowerModel()
+    breakdowns = [
+        model.baseline_breakdown(mapping, label="ISAAC"),
+        model.breakdown(mapping, ops_per_conversion=trq_ops_per_conversion, label=trq_label),
+        model.uniform_breakdown(mapping, bits=uniform_bits),
+    ]
+    return WorkloadComparison(workload=workload, breakdowns=breakdowns)
+
+
+def breakdown_table(comparisons: List[WorkloadComparison]) -> List[Dict[str, object]]:
+    """Flatten comparisons into rows suitable for tabulation/JSON export."""
+    rows: List[Dict[str, object]] = []
+    for comparison in comparisons:
+        for breakdown in comparison.breakdowns:
+            row: Dict[str, object] = {
+                "workload": comparison.workload,
+                "config": breakdown.label,
+                "total_J": breakdown.total,
+            }
+            for component in COMPONENTS:
+                row[component] = breakdown.per_component.get(component, 0.0)
+            rows.append(row)
+    return rows

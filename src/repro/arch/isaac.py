@@ -1,0 +1,73 @@
+"""ISAAC-style accelerator organisation (paper Section III-D1, Fig. 5).
+
+The paper adopts the ISAAC [3] hierarchy: a chip is a grid of tiles connected
+by a bus/router network; each tile contains processing elements (PEs) built
+around ReRAM crossbar pairs, ADCs shared across bit lines in a time-division
+manner, shift-and-add merge units, and input/output buffers.  The reproduction
+only needs this organisation for resource counting (how many crossbars and
+ADCs a workload occupies) and for the power/latency models, so the class below
+is a parameter container with derived quantities rather than a cycle-level
+micro-architecture simulator.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.crossbar.mapping import CrossbarTopology, DEFAULT_TOPOLOGY
+from repro.utils.validation import check_in_range, check_integer, check_positive
+
+
+@dataclasses.dataclass(frozen=True)
+class IsaacArchitecture:
+    """Architectural parameters of the ISAAC-style accelerator.
+
+    Defaults follow the paper's evaluation settings (Section V-A): 128×128
+    crossbars with single-bit cells, 8-bit datapaths, a 100 MHz system clock,
+    and an ISAAC-like tile organisation (8 PEs per tile, 8 crossbar pairs per
+    PE, one shared ADC per crossbar pair).
+    """
+
+    topology: CrossbarTopology = DEFAULT_TOPOLOGY
+    pes_per_tile: int = 8
+    crossbar_pairs_per_pe: int = 8
+    adcs_per_pe: int = 8
+    clock_hz: float = 100e6
+    adc_sample_rate_hz: float = 1.2e9
+    input_buffer_bytes: int = 2048
+    output_buffer_bytes: int = 2048
+
+    def __post_init__(self) -> None:
+        check_in_range(check_integer(self.pes_per_tile, "pes_per_tile"), "pes_per_tile", low=1)
+        check_in_range(check_integer(self.crossbar_pairs_per_pe, "crossbar_pairs_per_pe"),
+                       "crossbar_pairs_per_pe", low=1)
+        check_in_range(check_integer(self.adcs_per_pe, "adcs_per_pe"), "adcs_per_pe", low=1)
+        check_positive(self.clock_hz, "clock_hz")
+        check_positive(self.adc_sample_rate_hz, "adc_sample_rate_hz")
+        check_in_range(check_integer(self.input_buffer_bytes, "input_buffer_bytes"),
+                       "input_buffer_bytes", low=1)
+        check_in_range(check_integer(self.output_buffer_bytes, "output_buffer_bytes"),
+                       "output_buffer_bytes", low=1)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def crossbar_pairs_per_tile(self) -> int:
+        return self.pes_per_tile * self.crossbar_pairs_per_pe
+
+    @property
+    def adcs_per_tile(self) -> int:
+        return self.pes_per_tile * self.adcs_per_pe
+
+    @property
+    def baseline_adc_resolution(self) -> int:
+        """Full-precision conversion resolution of the crossbar topology."""
+        return self.topology.ideal_adc_resolution
+
+    def tiles_needed(self, crossbar_pairs: int) -> int:
+        """Number of tiles needed to host ``crossbar_pairs`` (weight-stationary)."""
+        if crossbar_pairs < 0:
+            raise ValueError("crossbar_pairs must be non-negative")
+        return -(-crossbar_pairs // self.crossbar_pairs_per_tile) if crossbar_pairs else 0
+
+
+DEFAULT_ARCHITECTURE = IsaacArchitecture()

@@ -1,0 +1,96 @@
+"""First-order latency/throughput model of the accelerator.
+
+The paper's contribution also reduces conversion *latency* (fewer SAR steps
+per conversion), so the reproduction includes a simple analytic model: each
+layer's time is the maximum of its crossbar-read time, its ADC time and its
+digital merge time, assuming the ISAAC-style time-division sharing of ADCs
+within a PE.  The model is intentionally coarse (no inter-layer pipelining,
+no buffer stalls) — it is used for relative comparisons and the ablation
+benchmarks, not absolute FPS claims.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Mapping, Optional
+
+from repro.arch.isaac import DEFAULT_ARCHITECTURE, IsaacArchitecture
+from repro.arch.mapping import AcceleratorMapping
+from repro.utils.validation import check_positive
+
+
+@dataclasses.dataclass(frozen=True)
+class LatencyParams:
+    """Timing constants of the datapath."""
+
+    crossbar_read_seconds: float = 100e-9
+    adc_operation_seconds: float = 1.0 / 1.2e9
+    shift_add_seconds: float = 10e-9
+
+    def __post_init__(self) -> None:
+        check_positive(self.crossbar_read_seconds, "crossbar_read_seconds")
+        check_positive(self.adc_operation_seconds, "adc_operation_seconds")
+        check_positive(self.shift_add_seconds, "shift_add_seconds")
+
+
+DEFAULT_LATENCY_PARAMS = LatencyParams()
+
+
+@dataclasses.dataclass
+class LatencyBreakdown:
+    """Per-layer and total inference latency (seconds)."""
+
+    per_layer: Dict[str, float]
+    label: str = ""
+
+    @property
+    def total(self) -> float:
+        return float(sum(self.per_layer.values()))
+
+
+class LatencyModel:
+    """Analytic per-layer latency estimation."""
+
+    def __init__(
+        self,
+        architecture: IsaacArchitecture = DEFAULT_ARCHITECTURE,
+        params: LatencyParams = DEFAULT_LATENCY_PARAMS,
+    ) -> None:
+        self.architecture = architecture
+        self.params = params
+
+    def breakdown(
+        self,
+        mapping: AcceleratorMapping,
+        ops_per_conversion: Optional[Mapping[str, float]] = None,
+        default_ops_per_conversion: Optional[float] = None,
+        label: str = "",
+    ) -> LatencyBreakdown:
+        """Latency of one inference under the given conversion cost."""
+        baseline = float(mapping.architecture.baseline_adc_resolution)
+        if default_ops_per_conversion is None:
+            default_ops_per_conversion = baseline
+        per_layer: Dict[str, float] = {}
+        adcs_per_pair = max(
+            1, self.architecture.adcs_per_pe // self.architecture.crossbar_pairs_per_pe
+        )
+        for name, workload in mapping.layer_workloads.items():
+            ops = default_ops_per_conversion
+            if ops_per_conversion is not None and name in ops_per_conversion:
+                ops = float(ops_per_conversion[name])
+            mvms = workload.geometry.mvms_per_image
+            cycles = workload.input_cycles
+            # Crossbar: every input cycle is one analog read of all segments
+            # (they operate in parallel arrays).
+            crossbar_time = mvms * cycles * self.params.crossbar_read_seconds
+            # ADC: conversions serialised onto the ADCs available to this
+            # layer's crossbar pairs.
+            conversions = workload.conversions_per_image
+            available_adcs = max(1, workload.crossbar_pairs * adcs_per_pair)
+            adc_time = conversions * ops * self.params.adc_operation_seconds / available_adcs
+            # Digital merge.
+            merge_time = conversions * self.params.shift_add_seconds / max(
+                1, workload.crossbar_pairs
+            )
+            per_layer[name] = max(crossbar_time, adc_time, merge_time)
+        return LatencyBreakdown(per_layer=per_layer, label=label)

@@ -1,0 +1,178 @@
+"""Network-level mapping of a DNN onto the accelerator.
+
+Turns a quantized model plus an input shape into per-layer *workload
+geometry*: how many MVMs one inference performs in each layer (the number of
+sliding windows for convolutions, 1 for fully-connected layers), how many
+crossbar pairs the layer's weights occupy, and how many A/D conversions one
+inference triggers (paper Eq. 3).  These numbers feed the power and latency
+models and the Fig. 7 benchmark.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.arch.isaac import DEFAULT_ARCHITECTURE, IsaacArchitecture
+from repro.crossbar.mapping import MappedMVMLayer
+from repro.nn.layers import Conv2d, Linear
+from repro.nn.module import Module
+from repro.quantization.ptq import QuantizedModel, find_mvm_layers
+
+
+@dataclasses.dataclass(frozen=True)
+class LayerGeometry:
+    """Shape information of one MVM layer observed on a real forward pass."""
+
+    name: str
+    kind: str
+    in_features: int
+    out_features: int
+    mvms_per_image: int
+    input_elements_per_image: int
+    output_elements_per_image: int
+
+
+@dataclasses.dataclass(frozen=True)
+class LayerWorkload:
+    """Geometry plus crossbar mapping footprint of one layer."""
+
+    geometry: LayerGeometry
+    crossbar_pairs: int
+    conversions_per_mvm: int
+    weight_planes: int
+    input_cycles: int
+    segments: int
+
+    @property
+    def conversions_per_image(self) -> int:
+        """Paper Eq. 3: A/D conversions one inference needs in this layer."""
+        return self.geometry.mvms_per_image * self.conversions_per_mvm
+
+
+def trace_layer_geometry(
+    model: Module, input_shape: Tuple[int, int, int]
+) -> Dict[str, LayerGeometry]:
+    """Run one dummy image through ``model`` and record MVM layer shapes.
+
+    ``input_shape`` is ``(C, H, W)``; the model must be in eval mode capable
+    of a single-image forward pass (BatchNorm running statistics are used).
+    """
+    geometries: Dict[str, LayerGeometry] = {}
+    handles = []
+    for name, layer in find_mvm_layers(model):
+
+        def hook(module, inputs, output, _name=name, _layer=layer):
+            x = np.asarray(inputs)
+            if isinstance(_layer, Conv2d):
+                n, _, oh, ow = output.shape
+                geometries[_name] = LayerGeometry(
+                    name=_name,
+                    kind="conv",
+                    in_features=_layer.in_channels * _layer.kernel_size[0] * _layer.kernel_size[1],
+                    out_features=_layer.out_channels,
+                    mvms_per_image=(oh * ow),
+                    input_elements_per_image=int(np.prod(x.shape[1:])),
+                    output_elements_per_image=int(np.prod(output.shape[1:])),
+                )
+            else:
+                geometries[_name] = LayerGeometry(
+                    name=_name,
+                    kind="linear",
+                    in_features=_layer.in_features,
+                    out_features=_layer.out_features,
+                    mvms_per_image=1,
+                    input_elements_per_image=int(np.prod(x.shape[1:])),
+                    output_elements_per_image=int(np.prod(output.shape[1:])),
+                )
+
+        handles.append(layer.register_forward_hook(hook))
+
+    was_training = model.training
+    model.eval()
+    try:
+        dummy = np.zeros((1,) + tuple(input_shape), dtype=np.float64)
+        model(dummy)
+    finally:
+        for handle in handles:
+            handle.remove()
+        model.train(was_training)
+    return geometries
+
+
+class AcceleratorMapping:
+    """Workload mapping of one quantized model onto the accelerator."""
+
+    def __init__(
+        self,
+        quantized: QuantizedModel,
+        input_shape: Tuple[int, int, int],
+        architecture: IsaacArchitecture = DEFAULT_ARCHITECTURE,
+    ) -> None:
+        self.quantized = quantized
+        self.architecture = architecture
+        self.input_shape = tuple(input_shape)
+        self._geometries = trace_layer_geometry(quantized.model, self.input_shape)
+        self._workloads = self._build_workloads()
+
+    # ------------------------------------------------------------------ #
+    def _build_workloads(self) -> Dict[str, LayerWorkload]:
+        workloads: Dict[str, LayerWorkload] = {}
+        for name, _ in find_mvm_layers(self.quantized.model):
+            geometry = self._geometries[name]
+            lq = self.quantized.layer(name)
+            if geometry.kind == "conv":
+                out_channels = lq.weight_codes.shape[0]
+                weight_matrix = lq.weight_codes.reshape(out_channels, -1).T
+            else:
+                weight_matrix = lq.weight_codes.T
+            mapped = MappedMVMLayer(
+                weight_matrix, self.quantized.config, self.architecture.topology
+            )
+            footprint = mapped.footprint()
+            workloads[name] = LayerWorkload(
+                geometry=geometry,
+                crossbar_pairs=footprint.num_crossbar_pairs,
+                conversions_per_mvm=footprint.conversions_per_mvm,
+                weight_planes=footprint.num_weight_planes,
+                input_cycles=footprint.num_input_cycles,
+                segments=footprint.num_segments,
+            )
+        return workloads
+
+    # ------------------------------------------------------------------ #
+    @property
+    def layer_workloads(self) -> Dict[str, LayerWorkload]:
+        return dict(self._workloads)
+
+    @property
+    def layer_names(self) -> List[str]:
+        return list(self._workloads)
+
+    @property
+    def total_crossbar_pairs(self) -> int:
+        return sum(w.crossbar_pairs for w in self._workloads.values())
+
+    @property
+    def total_tiles(self) -> int:
+        return self.architecture.tiles_needed(self.total_crossbar_pairs)
+
+    @property
+    def total_mvms_per_image(self) -> int:
+        return sum(w.geometry.mvms_per_image for w in self._workloads.values())
+
+    @property
+    def total_conversions_per_image(self) -> int:
+        """Paper Eq. 3 summed over layers for one inference."""
+        return sum(w.conversions_per_image for w in self._workloads.values())
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "layers": float(len(self._workloads)),
+            "crossbar_pairs": float(self.total_crossbar_pairs),
+            "tiles": float(self.total_tiles),
+            "mvms_per_image": float(self.total_mvms_per_image),
+            "conversions_per_image": float(self.total_conversions_per_image),
+        }

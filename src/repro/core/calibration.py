@@ -1,0 +1,347 @@
+"""Layer-by-layer parameter search (paper Algorithm 1).
+
+Given per-layer samples of the bit-line values (collected by the simulator on
+a small calibration set), the calibrator
+
+1. classifies each layer's distribution (Section IV-B),
+2. sweeps the grid-step candidates ``Vgrid`` and the legal twin-range
+   parameters, minimising the energy objective Eq. 9 per grid and selecting
+   the grid with minimum reconstruction MSE (Eq. 10),
+3. compares the winning twin-range setting against a plain uniform quantizer
+   with the same bit budget (Algorithm 1 line 23), and
+4. runs an outer accuracy-constrained loop that lowers the bit-budget cap
+   ``Nmax`` until the end-to-end accuracy drop would exceed the threshold
+   ``θ``, then keeps the last acceptable configuration.
+
+The module is deliberately independent of the simulator: it consumes plain
+arrays and an opaque accuracy callback, which keeps it unit-testable on
+synthetic distributions and avoids import cycles.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.distribution import DistributionSummary, summarize_distribution
+from repro.core.objectives import (
+    CandidateEvaluation,
+    evaluate_trq_candidate,
+    evaluate_uniform_candidate,
+    select_candidate,
+)
+from repro.core.search_space import (
+    DEFAULT_SEARCH_SPACE,
+    SearchSpaceConfig,
+    candidate_params,
+    uniform_fallback_bits,
+    v_grid_candidates,
+)
+from repro.core.trq import TRQParams
+from repro.utils.logging import get_logger
+from repro.utils.rng import SeedLike, new_rng
+from repro.utils.validation import check_in_range, check_integer
+
+logger = get_logger("core.calibration")
+
+
+@dataclasses.dataclass(frozen=True)
+class LayerAdcSetting:
+    """The decision Algorithm 1 makes for one layer.
+
+    Either a twin-range configuration (``use_trq=True`` with ``trq`` set) or a
+    plain uniform quantizer of ``uniform_bits`` bits with step
+    ``uniform_delta``.
+    """
+
+    use_trq: bool
+    trq: Optional[TRQParams] = None
+    uniform_bits: Optional[int] = None
+    uniform_delta: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.use_trq and self.trq is None:
+            raise ValueError("use_trq=True requires trq parameters")
+        if not self.use_trq and (self.uniform_bits is None or self.uniform_delta is None):
+            raise ValueError("uniform setting requires uniform_bits and uniform_delta")
+
+    @property
+    def sensing_bits(self) -> int:
+        """Worst-case payload bits produced per conversion."""
+        if self.use_trq:
+            assert self.trq is not None
+            return max(self.trq.n_r1, self.trq.n_r2)
+        assert self.uniform_bits is not None
+        return self.uniform_bits
+
+
+@dataclasses.dataclass
+class LayerCalibrationResult:
+    """Everything the search learned about one layer."""
+
+    name: str
+    setting: LayerAdcSetting
+    summary: DistributionSummary
+    trq_evaluation: Optional[CandidateEvaluation]
+    uniform_evaluation: Optional[CandidateEvaluation]
+    selected_evaluation: CandidateEvaluation
+
+    @property
+    def predicted_mean_ops(self) -> float:
+        return self.selected_evaluation.mean_ops_per_conversion
+
+    @property
+    def predicted_mse(self) -> float:
+        return self.selected_evaluation.mse
+
+
+@dataclasses.dataclass
+class CalibrationResult:
+    """Output of the full Algorithm 1 run."""
+
+    layers: Dict[str, LayerCalibrationResult]
+    n_max: int
+    baseline_accuracy: Optional[float]
+    final_accuracy: Optional[float]
+    accuracy_history: List[Tuple[int, float]] = dataclasses.field(default_factory=list)
+
+    @property
+    def settings(self) -> Dict[str, LayerAdcSetting]:
+        return {name: result.setting for name, result in self.layers.items()}
+
+    @property
+    def mean_predicted_ops(self) -> float:
+        if not self.layers:
+            return 0.0
+        return float(np.mean([r.predicted_mean_ops for r in self.layers.values()]))
+
+    def predicted_remaining_fraction(self, baseline_ops: int) -> float:
+        """Calibration-set estimate of the Fig. 6c metric."""
+        if baseline_ops <= 0:
+            raise ValueError("baseline_ops must be positive")
+        if not self.layers:
+            return 0.0
+        return self.mean_predicted_ops / baseline_ops
+
+
+AccuracyFn = Callable[[Dict[str, LayerAdcSetting]], float]
+
+
+class TwinRangeCalibrator:
+    """Runs Algorithm 1 over a set of layers.
+
+    Parameters
+    ----------
+    search_space:
+        Candidate-generation knobs (``α``, ``β``, ``C``, M range...).
+    accuracy_threshold:
+        ``θ`` — maximum tolerated end-to-end accuracy drop (absolute).
+    min_n_max:
+        Lowest bit budget the outer loop will try.
+    mse_tolerance:
+        Slack used when arbitrating between TRQ and the uniform fallback.
+    max_samples_per_layer:
+        Calibration samples are subsampled to this size for search speed.
+    """
+
+    def __init__(
+        self,
+        search_space: SearchSpaceConfig = DEFAULT_SEARCH_SPACE,
+        accuracy_threshold: float = 0.01,
+        min_n_max: int = 2,
+        mse_tolerance: float = 0.05,
+        max_samples_per_layer: int = 16384,
+        seed: SeedLike = 0,
+    ) -> None:
+        check_in_range(accuracy_threshold, "accuracy_threshold", low=0.0)
+        check_in_range(check_integer(min_n_max, "min_n_max"), "min_n_max", low=1)
+        check_in_range(check_integer(max_samples_per_layer, "max_samples_per_layer"),
+                       "max_samples_per_layer", low=16)
+        self.search_space = search_space
+        self.accuracy_threshold = float(accuracy_threshold)
+        self.min_n_max = int(min_n_max)
+        self.mse_tolerance = float(mse_tolerance)
+        self.max_samples_per_layer = int(max_samples_per_layer)
+        self._rng = new_rng(seed)
+
+    # ------------------------------------------------------------------ #
+    # per-layer search
+    # ------------------------------------------------------------------ #
+    def _subsample(self, samples: np.ndarray) -> np.ndarray:
+        samples = np.asarray(samples, dtype=np.float64).ravel()
+        if samples.size <= self.max_samples_per_layer:
+            return samples
+        idx = self._rng.choice(samples.size, size=self.max_samples_per_layer, replace=False)
+        return samples[idx]
+
+    @staticmethod
+    def _energy_ops_sorted(
+        sorted_samples: np.ndarray, params: TRQParams
+    ) -> Tuple[float, int]:
+        """Eq. 9 evaluated with two binary searches on the sorted samples."""
+        n = sorted_samples.size
+        lo = np.searchsorted(sorted_samples, params.r1_low, side="left")
+        hi = np.searchsorted(sorted_samples, params.r1_high, side="left")
+        num_r1 = int(hi - lo)
+        num_r2 = n - num_r1
+        energy = n * params.detection_ops + num_r1 * params.n_r1 + num_r2 * params.n_r2
+        return float(energy), num_r1
+
+    def calibrate_layer(
+        self, samples: np.ndarray, n_max: int
+    ) -> Tuple[DistributionSummary, Optional[CandidateEvaluation], CandidateEvaluation]:
+        """Search the best twin-range and uniform settings for one layer.
+
+        Returns ``(summary, best_trq_evaluation, uniform_evaluation)``; the
+        TRQ evaluation is ``None`` only for degenerate (empty) samples.
+        """
+        samples = self._subsample(samples)
+        if samples.size == 0:
+            raise ValueError("cannot calibrate a layer with no bit-line samples")
+        summary = summarize_distribution(samples)
+        sorted_samples = np.sort(samples)
+        y_max = float(sorted_samples[-1])
+
+        best_overall: Optional[CandidateEvaluation] = None
+        for v_grid in v_grid_candidates(y_max, self.search_space):
+            # Inner minimisation (Eq. 9): pick the candidate with the fewest
+            # A/D operations for this grid step; energy only needs the R1
+            # population, so it is evaluated with binary searches.
+            best_params: Optional[TRQParams] = None
+            best_energy = np.inf
+            for params in candidate_params(summary, samples, float(v_grid), n_max,
+                                           self.search_space):
+                energy, _ = self._energy_ops_sorted(sorted_samples, params)
+                if energy < best_energy:
+                    best_energy = energy
+                    best_params = params
+            if best_params is None:
+                continue
+            # Outer selection (Eq. 10): across grids, keep the minimum-MSE one.
+            evaluation = evaluate_trq_candidate(samples, best_params)
+            if (
+                best_overall is None
+                or evaluation.mse < best_overall.mse
+                or (
+                    np.isclose(evaluation.mse, best_overall.mse)
+                    and evaluation.energy_ops < best_overall.energy_ops
+                )
+            ):
+                best_overall = evaluation
+
+        bits, delta = uniform_fallback_bits(samples, v_grid=1.0, n_max=n_max)
+        uniform_evaluation = evaluate_uniform_candidate(samples, bits, delta)
+        return summary, best_overall, uniform_evaluation
+
+    def _layer_result(
+        self, name: str, samples: np.ndarray, n_max: int
+    ) -> LayerCalibrationResult:
+        summary, trq_eval, uniform_eval = self.calibrate_layer(samples, n_max)
+        if trq_eval is None:
+            selected = uniform_eval
+        else:
+            # Arbitrate on relative MSE only: a candidate may win on energy
+            # only if its reconstruction error is essentially as good as the
+            # other's.  (An absolute slack via ``mse_scale`` is available for
+            # callers that want a more aggressive energy-first policy, but the
+            # layer-level default stays conservative — the outer loop of
+            # Algorithm 1 is the place where accuracy is deliberately traded.)
+            selected = select_candidate(trq_eval, uniform_eval, self.mse_tolerance)
+        if selected.is_uniform:
+            setting = LayerAdcSetting(
+                use_trq=False,
+                uniform_bits=selected.uniform_bits,
+                uniform_delta=_uniform_delta(samples, selected.uniform_bits),
+            )
+        else:
+            setting = LayerAdcSetting(use_trq=True, trq=selected.params)
+        return LayerCalibrationResult(
+            name=name,
+            setting=setting,
+            summary=summary,
+            trq_evaluation=trq_eval,
+            uniform_evaluation=uniform_eval,
+            selected_evaluation=selected,
+        )
+
+    # ------------------------------------------------------------------ #
+    # outer accuracy-constrained loop
+    # ------------------------------------------------------------------ #
+    def calibrate(
+        self,
+        layer_samples: Dict[str, np.ndarray],
+        accuracy_fn: Optional[AccuracyFn] = None,
+        baseline_accuracy: Optional[float] = None,
+        initial_n_max: Optional[int] = None,
+    ) -> CalibrationResult:
+        """Run the full search over all layers.
+
+        Parameters
+        ----------
+        layer_samples:
+            Mapping of layer name to bit-line value samples.
+        accuracy_fn:
+            End-to-end accuracy oracle taking the per-layer settings; when
+            omitted the outer loop runs exactly one iteration at the initial
+            ``Nmax`` (useful for unit tests and quick sweeps).
+        baseline_accuracy:
+            Reference accuracy used for the drop check; required when
+            ``accuracy_fn`` is given.
+        initial_n_max:
+            Starting bit budget; defaults to ``RADC − 1`` (Algorithm 1 line 1).
+        """
+        if not layer_samples:
+            raise ValueError("layer_samples is empty")
+        if accuracy_fn is not None and baseline_accuracy is None:
+            raise ValueError("baseline_accuracy is required when accuracy_fn is given")
+
+        resolution = self.search_space.adc_resolution
+        n_max = initial_n_max if initial_n_max is not None else resolution - 1
+        check_in_range(check_integer(n_max, "initial_n_max"), "initial_n_max",
+                       low=self.min_n_max, high=resolution)
+
+        accepted: Optional[Tuple[int, Dict[str, LayerCalibrationResult], Optional[float]]] = None
+        history: List[Tuple[int, float]] = []
+
+        while n_max >= self.min_n_max:
+            layers = {
+                name: self._layer_result(name, samples, n_max)
+                for name, samples in layer_samples.items()
+            }
+            if accuracy_fn is None:
+                accepted = (n_max, layers, None)
+                break
+            accuracy = accuracy_fn({name: r.setting for name, r in layers.items()})
+            history.append((n_max, accuracy))
+            logger.debug("Nmax=%d -> accuracy %.4f", n_max, accuracy)
+            drop = (baseline_accuracy or 0.0) - accuracy
+            if drop > self.accuracy_threshold:
+                # Accuracy constraint violated: keep the previous (acceptable)
+                # configuration, or this one if even the first try violates it
+                # (Algorithm 1 terminates here either way).
+                if accepted is None:
+                    accepted = (n_max, layers, accuracy)
+                break
+            accepted = (n_max, layers, accuracy)
+            n_max -= 1
+
+        assert accepted is not None
+        final_n_max, final_layers, final_accuracy = accepted
+        return CalibrationResult(
+            layers=final_layers,
+            n_max=final_n_max,
+            baseline_accuracy=baseline_accuracy,
+            final_accuracy=final_accuracy,
+            accuracy_history=history,
+        )
+
+
+def _uniform_delta(samples: np.ndarray, bits: Optional[int]) -> float:
+    """Step of a range-calibrated uniform quantizer with ``bits`` bits."""
+    assert bits is not None
+    samples = np.asarray(samples, dtype=np.float64)
+    y_max = float(samples.max()) if samples.size else 1.0
+    max_code = (1 << bits) - 1
+    return y_max / max_code if y_max > 0 else 1.0

@@ -1,0 +1,176 @@
+"""Bit-line value-distribution analysis (paper Section III-A and IV-B).
+
+Algorithm 1 starts by judging the distribution type of each layer's bit-line
+outputs, because the best twin-range strategy depends on it:
+
+* **ideal** — the highly skewed, zero-concentrated distribution of Fig. 3a
+  (the common case with 1-bit operands and post-ReLU activations): a
+  zero-anchored dense range R1 captures the majority of samples losslessly.
+* **normal** — a strongly unimodal, low-variance distribution centred away
+  from zero: the same strategy works once R1 is shifted by the ``bias``
+  offset.
+* **other** — weakly unimodal, multi-modal or flat distributions: no "sweet
+  spot" exists, so both ranges use the "early stopping" strategy with equal
+  bit-widths.
+
+The classifier below uses robust, deterministic statistics (mass
+concentration, mode location, histogram mode count) rather than fitted
+models, so the same inputs always produce the same decision.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.validation import check_in_range
+
+
+class DistributionType(str, enum.Enum):
+    """Distribution classes distinguished by Algorithm 1."""
+
+    IDEAL = "ideal"
+    NORMAL = "normal"
+    OTHER = "other"
+
+
+@dataclasses.dataclass(frozen=True)
+class DistributionSummary:
+    """Summary statistics of one layer's bit-line value distribution."""
+
+    kind: DistributionType
+    count: int
+    minimum: float
+    maximum: float
+    mean: float
+    std: float
+    skewness: float
+    zero_fraction: float
+    mass_in_low_eighth: float
+    mode_position: float
+    num_modes: int
+
+    @property
+    def value_range(self) -> float:
+        return self.maximum - self.minimum
+
+
+def _skewness(values: np.ndarray) -> float:
+    std = values.std()
+    if std == 0:
+        return 0.0
+    return float(np.mean(((values - values.mean()) / std) ** 3))
+
+
+def _count_modes(values: np.ndarray, num_bins: int = 32, rel_threshold: float = 0.15) -> int:
+    """Count local maxima of a smoothed histogram exceeding a fraction of the peak."""
+    if values.size < 4 or values.max() == values.min():
+        return 1
+    counts, _ = np.histogram(values, bins=num_bins)
+    # Light smoothing suppresses single-bin noise.
+    kernel = np.array([1.0, 2.0, 3.0, 2.0, 1.0])
+    kernel /= kernel.sum()
+    smoothed = np.convolve(counts.astype(np.float64), kernel, mode="same")
+    peak = smoothed.max()
+    if peak == 0:
+        return 1
+    modes = 0
+    for i in range(len(smoothed)):
+        left = smoothed[i - 1] if i > 0 else -np.inf
+        right = smoothed[i + 1] if i < len(smoothed) - 1 else -np.inf
+        if smoothed[i] >= left and smoothed[i] > right and smoothed[i] >= rel_threshold * peak:
+            modes += 1
+    return max(1, modes)
+
+
+def summarize_distribution(
+    values: np.ndarray,
+    skew_threshold: float = 1.0,
+    low_mass_threshold: float = 0.6,
+    concentration_threshold: float = 0.55,
+) -> DistributionSummary:
+    """Classify a sample of bit-line values and return its summary statistics.
+
+    Parameters
+    ----------
+    values:
+        Non-negative bit-line samples of one layer.
+    skew_threshold:
+        Minimum skewness for the zero-concentrated "ideal" class.
+    low_mass_threshold:
+        Minimum fraction of samples in the lowest eighth of the value range
+        for the "ideal" class.
+    concentration_threshold:
+        Minimum fraction of samples within ±1σ of the mode for the "normal"
+        class.
+    """
+    check_in_range(low_mass_threshold, "low_mass_threshold", 0.0, 1.0)
+    check_in_range(concentration_threshold, "concentration_threshold", 0.0, 1.0)
+    values = np.asarray(values, dtype=np.float64).ravel()
+    if values.size == 0:
+        raise ValueError("cannot summarise an empty sample")
+
+    minimum = float(values.min())
+    maximum = float(values.max())
+    mean = float(values.mean())
+    std = float(values.std())
+    skewness = _skewness(values)
+    zero_fraction = float(np.mean(values <= 0))
+    value_range = maximum - minimum
+    if value_range > 0:
+        mass_low = float(np.mean(values <= minimum + value_range / 8.0))
+    else:
+        mass_low = 1.0
+    num_modes = _count_modes(values)
+
+    # Mode position from the histogram peak.
+    if value_range > 0:
+        counts, edges = np.histogram(values, bins=32)
+        peak_bin = int(np.argmax(counts))
+        mode_position = float((edges[peak_bin] + edges[peak_bin + 1]) / 2.0)
+    else:
+        mode_position = minimum
+
+    # Classification.
+    if mass_low >= low_mass_threshold and skewness >= skew_threshold:
+        kind = DistributionType.IDEAL
+    else:
+        concentration = (
+            float(np.mean(np.abs(values - mode_position) <= std)) if std > 0 else 1.0
+        )
+        if num_modes == 1 and concentration >= concentration_threshold:
+            kind = DistributionType.NORMAL
+        else:
+            kind = DistributionType.OTHER
+
+    return DistributionSummary(
+        kind=kind,
+        count=int(values.size),
+        minimum=minimum,
+        maximum=maximum,
+        mean=mean,
+        std=std,
+        skewness=skewness,
+        zero_fraction=zero_fraction,
+        mass_in_low_eighth=mass_low,
+        mode_position=mode_position,
+        num_modes=num_modes,
+    )
+
+
+def required_resolution(values: np.ndarray, v_grid: float = 1.0) -> int:
+    """Algorithm 1 line 7: ``Rideal = ceil(log2(ymax − ymin + 1))``.
+
+    The value range is measured in units of the candidate grid step
+    ``v_grid`` so that coarser grids need fewer bits.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("cannot compute resolution of an empty sample")
+    if v_grid <= 0:
+        raise ValueError(f"v_grid must be positive, got {v_grid}")
+    span_levels = (float(values.max()) - float(values.min())) / v_grid
+    return max(1, int(np.ceil(np.log2(span_levels + 1.0))))

@@ -1,0 +1,47 @@
+"""ReRAM crossbar substrate: cells, arrays, bit-slicing, mapping and merging."""
+
+from repro.crossbar.array import CrossbarArray
+from repro.crossbar.cell import DEFAULT_CELL_CONFIG, CellConfig, ReRAMCellModel
+from repro.crossbar.dac import DEFAULT_DAC_CONFIG, DacConfig, DacModel
+from repro.crossbar.mapping import (
+    DEFAULT_TOPOLOGY,
+    CrossbarTopology,
+    MappedMVMLayer,
+    MappingFootprint,
+)
+from repro.crossbar.merge import (
+    input_cycle_factors,
+    reference_integer_matmul,
+    shift_add_merge,
+    weight_plane_factors,
+)
+from repro.crossbar.slicing import (
+    bit_slice,
+    num_slices,
+    reconstruct_from_slices,
+    slice_inputs_temporal,
+    slice_weights_differential,
+)
+
+__all__ = [
+    "CellConfig",
+    "CrossbarArray",
+    "CrossbarTopology",
+    "DEFAULT_CELL_CONFIG",
+    "DEFAULT_DAC_CONFIG",
+    "DEFAULT_TOPOLOGY",
+    "DacConfig",
+    "DacModel",
+    "MappedMVMLayer",
+    "MappingFootprint",
+    "ReRAMCellModel",
+    "bit_slice",
+    "input_cycle_factors",
+    "num_slices",
+    "reconstruct_from_slices",
+    "reference_integer_matmul",
+    "shift_add_merge",
+    "slice_inputs_temporal",
+    "slice_weights_differential",
+    "weight_plane_factors",
+]

@@ -1,0 +1,52 @@
+"""Word-line DAC model.
+
+With the paper's 1-bit DACs each input slice is simply a 0/1 word-line
+voltage; multi-bit DAC configurations scale the voltage linearly with the
+slice code.  The model exists mostly so that analog-fidelity simulations and
+the energy model have an explicit component to account for.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.utils.validation import check_in_range, check_integer, check_positive
+
+
+@dataclasses.dataclass(frozen=True)
+class DacConfig:
+    """DAC parameters: resolution ``RDA`` and full-scale word-line voltage."""
+
+    resolution_bits: int = 1
+    v_read: float = 0.2
+
+    def __post_init__(self) -> None:
+        check_integer(self.resolution_bits, "resolution_bits")
+        check_in_range(self.resolution_bits, "resolution_bits", low=1, high=8)
+        check_positive(self.v_read, "v_read")
+
+    @property
+    def levels(self) -> int:
+        return 1 << self.resolution_bits
+
+
+DEFAULT_DAC_CONFIG = DacConfig()
+
+
+class DacModel:
+    """Converts digital input slices to word-line voltages."""
+
+    def __init__(self, config: DacConfig = DEFAULT_DAC_CONFIG) -> None:
+        self.config = config
+
+    def to_voltages(self, slice_codes: np.ndarray) -> np.ndarray:
+        """Map slice codes ``0 … 2^RDA − 1`` to voltages ``0 … v_read``."""
+        codes = np.asarray(slice_codes)
+        if codes.size and (codes.min() < 0 or codes.max() >= self.config.levels):
+            raise ValueError(
+                f"DAC codes must be in [0, {self.config.levels - 1}], got "
+                f"[{codes.min()}, {codes.max()}]"
+            )
+        return codes.astype(np.float64) * self.config.v_read / (self.config.levels - 1)

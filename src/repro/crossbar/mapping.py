@@ -1,0 +1,258 @@
+"""Mapping quantized MVM layers onto crossbar resources.
+
+:class:`MappedMVMLayer` is the workhorse of the PIM simulator: it takes the
+integer weight matrix of one Conv2d/Linear layer (already lowered to a 2-D
+``(in_features, out_features)`` matrix by im2col), applies the differential
+positive/negative mapping, spatial weight bit-slicing and word-line
+segmentation of the paper's datapath, and exposes a vectorised
+``matmul(input_codes, adc)`` that reproduces — bit-line value by bit-line
+value — what the accelerator's ADCs would digitise.
+
+Layout of the internal "plane matrix"
+-------------------------------------
+All weight bit planes of both signs are packed side by side into one matrix
+of shape ``(in_features, 2 · planes · out_features)`` with the output index
+fastest, plane next and sign slowest.  One matmul per (input cycle, row
+segment) then produces *every* bit-line value of that cycle/segment at once,
+which keeps the Python overhead negligible while remaining exactly equivalent
+to simulating each 128×128 array separately (verified by unit tests against
+:func:`repro.crossbar.merge.shift_add_merge`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.crossbar.slicing import (
+    num_slices,
+    slice_inputs_temporal,
+    slice_weights_differential,
+)
+from repro.quantization.qconfig import DEFAULT_QUANT_CONFIG, QuantizationConfig
+from repro.utils.validation import check_in_range, check_integer
+
+
+@dataclasses.dataclass(frozen=True)
+class CrossbarTopology:
+    """Physical array parameters of the accelerator (paper Section V-A)."""
+
+    crossbar_size: int = 128
+    bits_per_cell: int = 1
+    dac_bits: int = 1
+
+    def __post_init__(self) -> None:
+        check_in_range(check_integer(self.crossbar_size, "crossbar_size"), "crossbar_size", low=2)
+        check_in_range(check_integer(self.bits_per_cell, "bits_per_cell"), "bits_per_cell", low=1, high=4)
+        check_in_range(check_integer(self.dac_bits, "dac_bits"), "dac_bits", low=1, high=8)
+
+    @property
+    def ideal_adc_resolution(self) -> int:
+        """Paper Eq. 2 with the stated architecture-level simplification:
+        ``RADC,ideal = log2(S) + RDA + Rcell + δ`` where ``δ = −1`` when both
+        the DAC and the cell are single-bit (so an S-row array with 1-bit
+        operands needs ``log2(S) + 1`` bits)."""
+        delta = -1 if (self.dac_bits == 1 and self.bits_per_cell == 1) else 0
+        resolution = int(np.log2(self.crossbar_size)) + self.dac_bits + self.bits_per_cell + delta
+        return max(1, resolution)
+
+
+DEFAULT_TOPOLOGY = CrossbarTopology()
+
+
+@dataclasses.dataclass
+class MappingFootprint:
+    """Resource accounting of one mapped layer."""
+
+    in_features: int
+    out_features: int
+    num_segments: int
+    num_weight_planes: int
+    num_input_cycles: int
+    total_columns: int
+    num_crossbar_pairs: int
+    conversions_per_mvm: int
+
+    @property
+    def num_crossbars(self) -> int:
+        """Physical arrays used (a pair = one positive + one negative array)."""
+        return 2 * self.num_crossbar_pairs
+
+
+class MappedMVMLayer:
+    """One MVM layer mapped onto ReRAM crossbars.
+
+    Parameters
+    ----------
+    weight_codes:
+        Signed integer weight matrix of shape ``(in_features, out_features)``
+        (im2col-lowered for convolutions).
+    quant_config:
+        Bit-widths of the algorithm-level datapath (``Kw``, ``Ki``).
+    topology:
+        Crossbar size, cell and DAC resolutions.
+    """
+
+    def __init__(
+        self,
+        weight_codes: np.ndarray,
+        quant_config: QuantizationConfig = DEFAULT_QUANT_CONFIG,
+        topology: CrossbarTopology = DEFAULT_TOPOLOGY,
+    ) -> None:
+        weight_codes = np.asarray(weight_codes, dtype=np.int64)
+        if weight_codes.ndim != 2:
+            raise ValueError(f"weight_codes must be 2-D, got {weight_codes.shape}")
+        self.quant_config = quant_config
+        self.topology = topology
+        self.in_features, self.out_features = weight_codes.shape
+
+        magnitude_bits = quant_config.weight_magnitude_bits
+        self.num_weight_planes = num_slices(magnitude_bits, topology.bits_per_cell)
+        self.num_input_cycles = num_slices(quant_config.activation_bits, topology.dac_bits)
+
+        pos_slices, neg_slices = slice_weights_differential(
+            weight_codes, magnitude_bits, topology.bits_per_cell
+        )
+        # (2, planes, in, out) -> (in, 2, planes, out) -> (in, 2*planes*out)
+        planes = np.stack([pos_slices, neg_slices], axis=0)
+        self._plane_matrix = np.ascontiguousarray(
+            planes.transpose(2, 0, 1, 3).reshape(
+                self.in_features, 2 * self.num_weight_planes * self.out_features
+            ),
+            dtype=np.float32,
+        )
+        # Per-(sign, plane) merge factors.
+        plane_shifts = np.array(
+            [1 << (p * topology.bits_per_cell) for p in range(self.num_weight_planes)],
+            dtype=np.float64,
+        )
+        self._merge_factors = np.stack([plane_shifts, -plane_shifts], axis=0)  # (2, planes)
+
+        size = topology.crossbar_size
+        self._segments: List[slice] = [
+            slice(start, min(start + size, self.in_features))
+            for start in range(0, self.in_features, size)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # resource accounting
+    # ------------------------------------------------------------------ #
+    @property
+    def num_segments(self) -> int:
+        return len(self._segments)
+
+    @property
+    def segment_sizes(self) -> List[int]:
+        return [seg.stop - seg.start for seg in self._segments]
+
+    def footprint(self) -> MappingFootprint:
+        """Crossbar usage and the number of A/D conversions per MVM (Eq. 3)."""
+        size = self.topology.crossbar_size
+        columns_per_sign = self.num_weight_planes * self.out_features
+        crossbar_pairs = self.num_segments * (-(-columns_per_sign // size))
+        conversions = (
+            self.num_input_cycles
+            * self.num_segments
+            * 2
+            * self.num_weight_planes
+            * self.out_features
+        )
+        return MappingFootprint(
+            in_features=self.in_features,
+            out_features=self.out_features,
+            num_segments=self.num_segments,
+            num_weight_planes=self.num_weight_planes,
+            num_input_cycles=self.num_input_cycles,
+            total_columns=2 * columns_per_sign,
+            num_crossbar_pairs=crossbar_pairs,
+            conversions_per_mvm=conversions,
+        )
+
+    # ------------------------------------------------------------------ #
+    # datapath
+    # ------------------------------------------------------------------ #
+    def bitline_partials(self, input_slice: np.ndarray, segment_index: int) -> np.ndarray:
+        """Bit-line values of one (input cycle, row segment) combination.
+
+        Parameters
+        ----------
+        input_slice:
+            ``(batch, in_features)`` DAC codes of the current input cycle.
+        segment_index:
+            Which word-line segment (group of ≤ ``crossbar_size`` rows) drives
+            the arrays.
+
+        Returns
+        -------
+        ``(batch, 2 · planes · out_features)`` float32 array of exact integer
+        bit-line values, ordered ``[sign, plane, out]`` with ``out`` fastest.
+        """
+        segment = self._segments[segment_index]
+        x = np.asarray(input_slice, dtype=np.float32)[:, segment]
+        return x @ self._plane_matrix[segment]
+
+    def merge_partials(self, partials: np.ndarray) -> np.ndarray:
+        """Shift-and-add merge of one cycle/segment block -> ``(batch, out)``."""
+        batch = partials.shape[0]
+        block = partials.reshape(batch, 2, self.num_weight_planes, self.out_features)
+        return np.einsum(
+            "bspo,sp->bo", block.astype(np.float64), self._merge_factors, optimize=True
+        )
+
+    def matmul(
+        self,
+        input_codes: np.ndarray,
+        adc: Optional[object] = None,
+        partial_observer: Optional[Callable[[np.ndarray], None]] = None,
+    ) -> Tuple[np.ndarray, int]:
+        """Execute the full bit-sliced MVM for a batch of input vectors.
+
+        Parameters
+        ----------
+        input_codes:
+            ``(batch, in_features)`` unsigned activation codes (``Ki`` bits).
+        adc:
+            Optional ADC model with a vectorised
+            ``convert(values) -> (quantized_values, total_ops)`` method; when
+            omitted the conversion is ideal (lossless) and the returned op
+            count assumes the baseline ``RADC`` operations per conversion.
+        partial_observer:
+            Optional callable receiving every raw bit-line block (used to
+            capture the value distributions of paper Fig. 3a).
+
+        Returns
+        -------
+        results:
+            ``(batch, out_features)`` merged signed integer results (float64).
+        total_ops:
+            Total number of A/D operations performed for the batch.
+        """
+        input_codes = np.asarray(input_codes)
+        if input_codes.ndim != 2 or input_codes.shape[1] != self.in_features:
+            raise ValueError(
+                f"input_codes must be (batch, {self.in_features}), got {input_codes.shape}"
+            )
+        cycles = slice_inputs_temporal(
+            input_codes, self.quant_config.activation_bits, self.topology.dac_bits
+        )
+        batch = input_codes.shape[0]
+        accumulator = np.zeros((batch, self.out_features), dtype=np.float64)
+        total_ops = 0
+        baseline_ops = self.topology.ideal_adc_resolution
+
+        for cycle_index in range(cycles.shape[0]):
+            cycle_factor = float(1 << (cycle_index * self.topology.dac_bits))
+            cycle_slice = cycles[cycle_index]
+            for segment_index in range(self.num_segments):
+                partials = self.bitline_partials(cycle_slice, segment_index)
+                if partial_observer is not None:
+                    partial_observer(partials)
+                if adc is not None:
+                    partials, ops = adc.convert(partials)
+                    total_ops += int(ops)
+                else:
+                    total_ops += partials.size * baseline_ops
+                accumulator += cycle_factor * self.merge_partials(partials)
+        return accumulator, total_ops

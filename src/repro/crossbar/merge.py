@@ -1,0 +1,74 @@
+"""Shift-and-add merging of sliced partial results.
+
+Intermediate MVM results produced along bit lines, input cycles and crossbars
+must be merged back into the full-precision dot product (paper Fig. 1 and the
+modified S+A module of Fig. 5).  The functions here implement that digital
+merge and serve as the *reference* implementation the mapped-layer fast path
+is tested against.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.utils.validation import check_in_range, check_integer
+
+
+def weight_plane_factors(num_planes: int, bits_per_cell: int = 1) -> np.ndarray:
+    """Binary weights of LSB-first weight slices: ``2^(plane · bits_per_cell)``."""
+    check_in_range(check_integer(num_planes, "num_planes"), "num_planes", low=1)
+    return np.array([1 << (p * bits_per_cell) for p in range(num_planes)], dtype=np.float64)
+
+
+def input_cycle_factors(num_cycles: int, dac_bits: int = 1) -> np.ndarray:
+    """Binary weights of LSB-first input cycles: ``2^(cycle · dac_bits)``."""
+    check_in_range(check_integer(num_cycles, "num_cycles"), "num_cycles", low=1)
+    return np.array([1 << (c * dac_bits) for c in range(num_cycles)], dtype=np.float64)
+
+
+def shift_add_merge(
+    partials: np.ndarray,
+    bits_per_cell: int = 1,
+    dac_bits: int = 1,
+) -> np.ndarray:
+    """Merge a full partial-sum tensor into signed MVM results.
+
+    Parameters
+    ----------
+    partials:
+        Array of shape ``(num_cycles, 2, num_planes, num_segments, batch, out)``
+        holding bit-line results for every (input cycle, sign, weight plane,
+        row segment) combination.  Index 0 of the sign axis is the positive
+        crossbar, index 1 the negative crossbar.
+    bits_per_cell, dac_bits:
+        Slice widths used to produce the partials.
+
+    Returns
+    -------
+    ``(batch, out)`` array of merged signed results.
+    """
+    partials = np.asarray(partials, dtype=np.float64)
+    if partials.ndim != 6 or partials.shape[1] != 2:
+        raise ValueError(
+            "partials must have shape (cycles, 2, planes, segments, batch, out), "
+            f"got {partials.shape}"
+        )
+    cycles, _, planes, _, _, _ = partials.shape
+    cycle_f = input_cycle_factors(cycles, dac_bits).reshape(cycles, 1, 1, 1, 1, 1)
+    sign_f = np.array([1.0, -1.0]).reshape(1, 2, 1, 1, 1, 1)
+    plane_f = weight_plane_factors(planes, bits_per_cell).reshape(1, 1, planes, 1, 1, 1)
+    weighted = partials * cycle_f * sign_f * plane_f
+    return weighted.sum(axis=(0, 1, 2, 3))
+
+
+def reference_integer_matmul(
+    input_codes: np.ndarray, weight_codes: np.ndarray
+) -> np.ndarray:
+    """Exact integer MVM ``x @ W`` used as the golden reference in tests."""
+    x = np.asarray(input_codes, dtype=np.int64)
+    w = np.asarray(weight_codes, dtype=np.int64)
+    if x.shape[-1] != w.shape[0]:
+        raise ValueError(f"inner dimensions differ: {x.shape} @ {w.shape}")
+    return (x @ w).astype(np.float64)

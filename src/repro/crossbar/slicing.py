@@ -1,0 +1,96 @@
+"""Bit-slicing of weights (spatial) and input activations (temporal).
+
+Resolution limits of ReRAM cells and DACs force the datapath to split
+multi-bit operands (paper Fig. 1):
+
+* a ``Kw``-bit weight is split into ``Kw / Rcell`` slices stored on different
+  bit lines (spatial slicing);
+* a ``Ki``-bit input is split into ``Ki / RDA`` slices fed to the DAC in
+  consecutive cycles (temporal slicing).
+
+All helpers use LSB-first slice ordering; slice ``j`` has binary weight
+``2^(j · bits_per_slice)``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.validation import check_in_range, check_integer
+
+
+def num_slices(total_bits: int, bits_per_slice: int) -> int:
+    """Number of slices needed to cover ``total_bits`` (ceil division)."""
+    total_bits = check_integer(total_bits, "total_bits")
+    bits_per_slice = check_integer(bits_per_slice, "bits_per_slice")
+    check_in_range(total_bits, "total_bits", low=1)
+    check_in_range(bits_per_slice, "bits_per_slice", low=1)
+    return -(-total_bits // bits_per_slice)
+
+
+def bit_slice(values: np.ndarray, total_bits: int, bits_per_slice: int = 1) -> np.ndarray:
+    """Split non-negative integers into LSB-first slices.
+
+    Returns an array of shape ``(num_slices,) + values.shape`` whose slice
+    ``j`` holds ``(values >> (j · bits_per_slice)) mod 2^bits_per_slice``.
+    """
+    values = np.asarray(values)
+    if values.size and values.min() < 0:
+        raise ValueError("bit_slice expects non-negative integers")
+    if values.size and values.max() >= (1 << total_bits):
+        raise ValueError(
+            f"values exceed {total_bits} bits (max={values.max()})"
+        )
+    count = num_slices(total_bits, bits_per_slice)
+    mask = (1 << bits_per_slice) - 1
+    values = values.astype(np.int64)
+    slices = np.empty((count,) + values.shape, dtype=np.int64)
+    for j in range(count):
+        slices[j] = (values >> (j * bits_per_slice)) & mask
+    return slices
+
+
+def reconstruct_from_slices(slices: np.ndarray, bits_per_slice: int = 1) -> np.ndarray:
+    """Inverse of :func:`bit_slice` (exact for integer slices)."""
+    slices = np.asarray(slices)
+    result = np.zeros(slices.shape[1:], dtype=np.int64)
+    for j in range(slices.shape[0]):
+        result += slices[j].astype(np.int64) << (j * bits_per_slice)
+    return result
+
+
+def slice_weights_differential(
+    weight_codes: np.ndarray, magnitude_bits: int, bits_per_cell: int = 1
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Split signed weight codes into positive/negative magnitude bit slices.
+
+    The differential mapping stores ``max(w, 0)`` on the positive crossbar and
+    ``max(-w, 0)`` on the negative crossbar (paper Fig. 5); each magnitude is
+    then bit-sliced.  Returns ``(pos_slices, neg_slices)`` of shape
+    ``(num_slices,) + weight_codes.shape``.
+    """
+    weight_codes = np.asarray(weight_codes, dtype=np.int64)
+    pos = np.maximum(weight_codes, 0)
+    neg = np.maximum(-weight_codes, 0)
+    max_magnitude = (1 << magnitude_bits) - 1
+    if pos.size and max(pos.max(), neg.max()) > max_magnitude:
+        raise ValueError(
+            f"weight magnitude {max(pos.max(), neg.max())} exceeds {magnitude_bits} bits"
+        )
+    return (
+        bit_slice(pos, magnitude_bits, bits_per_cell),
+        bit_slice(neg, magnitude_bits, bits_per_cell),
+    )
+
+
+def slice_inputs_temporal(
+    input_codes: np.ndarray, activation_bits: int, dac_bits: int = 1
+) -> np.ndarray:
+    """Split unsigned activation codes into DAC-width temporal slices.
+
+    Returns shape ``(num_cycles,) + input_codes.shape``; cycle ``j`` carries
+    binary weight ``2^(j · dac_bits)`` in the shift-and-add merge.
+    """
+    return bit_slice(input_codes, activation_bits, dac_bits)

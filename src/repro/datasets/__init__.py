@@ -1,0 +1,28 @@
+"""Synthetic dataset substrates standing in for MNIST / CIFAR-10 / ImageNet."""
+
+from repro.datasets.calibration import sample_calibration_set
+from repro.datasets.generators import ImageSpec, build_prototypes, make_class_prototype, sample_images
+from repro.datasets.loaders import DataLoader
+from repro.datasets.synthetic import (
+    DatasetSplit,
+    SyntheticImageDataset,
+    build_dataset,
+    synthetic_cifar10,
+    synthetic_imagenet,
+    synthetic_mnist,
+)
+
+__all__ = [
+    "DataLoader",
+    "DatasetSplit",
+    "ImageSpec",
+    "SyntheticImageDataset",
+    "build_dataset",
+    "build_prototypes",
+    "make_class_prototype",
+    "sample_calibration_set",
+    "sample_images",
+    "synthetic_cifar10",
+    "synthetic_imagenet",
+    "synthetic_mnist",
+]

@@ -1,0 +1,60 @@
+"""Calibration-set sampling.
+
+The paper calibrates ADC configurations on 32 images randomly selected from
+the training set (Section V-A).  This module reproduces that protocol and
+also provides stratified sampling so small calibration sets still cover all
+classes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.synthetic import DatasetSplit
+from repro.utils.rng import SeedLike, new_rng
+from repro.utils.validation import check_positive
+
+
+def sample_calibration_set(
+    split: DatasetSplit,
+    num_images: int = 32,
+    stratified: bool = True,
+    seed: SeedLike = None,
+) -> DatasetSplit:
+    """Select ``num_images`` calibration images from ``split``.
+
+    Parameters
+    ----------
+    split:
+        Typically the training split (the paper calibrates on training data).
+    num_images:
+        Calibration-set size; the paper uses 32.
+    stratified:
+        When True, samples are spread as evenly as possible over the classes
+        present in the split; remaining slots are filled uniformly at random.
+    """
+    check_positive(num_images, "num_images")
+    if num_images > len(split):
+        raise ValueError(
+            f"requested {num_images} calibration images but split has {len(split)}"
+        )
+    rng = new_rng(seed)
+
+    if not stratified:
+        indices = rng.choice(len(split), size=num_images, replace=False)
+        return split.subset(np.sort(indices))
+
+    labels = split.labels
+    classes = np.unique(labels)
+    per_class = max(1, num_images // len(classes))
+    chosen: list = []
+    for cls in classes:
+        cls_indices = np.flatnonzero(labels == cls)
+        take = min(per_class, cls_indices.shape[0])
+        chosen.extend(rng.choice(cls_indices, size=take, replace=False).tolist())
+    chosen = chosen[:num_images]
+    if len(chosen) < num_images:
+        remaining = np.setdiff1d(np.arange(len(split)), np.array(chosen, dtype=np.int64))
+        extra = rng.choice(remaining, size=num_images - len(chosen), replace=False)
+        chosen.extend(extra.tolist())
+    return split.subset(np.sort(np.array(chosen, dtype=np.int64)))

@@ -1,0 +1,50 @@
+"""Mini-batch iteration over dataset splits."""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from repro.datasets.synthetic import DatasetSplit
+from repro.utils.rng import SeedLike, new_rng
+from repro.utils.validation import check_positive
+
+
+class DataLoader:
+    """Iterates ``(images, labels)`` mini-batches over a :class:`DatasetSplit`.
+
+    Iterating the loader twice yields the same order unless ``shuffle`` is
+    enabled, in which case each pass re-shuffles with the loader's generator
+    (so epochs differ but the whole sequence is reproducible from the seed).
+    """
+
+    def __init__(
+        self,
+        split: DatasetSplit,
+        batch_size: int = 32,
+        shuffle: bool = False,
+        drop_last: bool = False,
+        seed: SeedLike = None,
+    ) -> None:
+        check_positive(batch_size, "batch_size")
+        self.split = split
+        self.batch_size = int(batch_size)
+        self.shuffle = bool(shuffle)
+        self.drop_last = bool(drop_last)
+        self._rng = new_rng(seed)
+
+    def __len__(self) -> int:
+        n = len(self.split)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        n = len(self.split)
+        order = self._rng.permutation(n) if self.shuffle else np.arange(n)
+        for start in range(0, n, self.batch_size):
+            idx = order[start : start + self.batch_size]
+            if self.drop_last and idx.shape[0] < self.batch_size:
+                break
+            yield self.split.images[idx], self.split.labels[idx]

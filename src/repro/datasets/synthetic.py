@@ -1,0 +1,160 @@
+"""Synthetic stand-ins for the paper's datasets (MNIST, CIFAR-10, ImageNet).
+
+Each factory returns a :class:`SyntheticImageDataset` with deterministic
+train/test splits generated from a single seed.  Images are scaled to
+``[0, 1]`` like normalised natural images so that the 8-bit symmetric
+activation quantization of the paper's datapath applies unchanged.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.datasets.generators import ImageSpec, build_prototypes, sample_images
+from repro.utils.rng import SeedLike, derive_seed, new_rng
+from repro.utils.validation import check_positive
+
+
+@dataclasses.dataclass
+class DatasetSplit:
+    """A materialised split: ``images`` (N, C, H, W) float64 and ``labels`` (N,)."""
+
+    images: np.ndarray
+    labels: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.images.shape[0] != self.labels.shape[0]:
+            raise ValueError("images and labels must have the same length")
+
+    def __len__(self) -> int:
+        return int(self.images.shape[0])
+
+    def subset(self, indices: np.ndarray) -> "DatasetSplit":
+        """A new split containing only ``indices`` (copies, never views)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        return DatasetSplit(self.images[indices].copy(), self.labels[indices].copy())
+
+
+class SyntheticImageDataset:
+    """A deterministic synthetic classification dataset.
+
+    Parameters
+    ----------
+    spec:
+        Image geometry and perturbation parameters.
+    train_size, test_size:
+        Number of samples per split.
+    seed:
+        Single seed controlling prototypes and both splits.
+    name:
+        Human-readable name used in reports (e.g. ``"synthetic-cifar10"``).
+    """
+
+    def __init__(
+        self,
+        spec: ImageSpec,
+        train_size: int = 512,
+        test_size: int = 256,
+        seed: int = 0,
+        name: str = "synthetic",
+    ) -> None:
+        check_positive(train_size, "train_size")
+        check_positive(test_size, "test_size")
+        self.spec = spec
+        self.name = name
+        self.seed = int(seed)
+        self._prototypes = build_prototypes(spec, seed=derive_seed(seed, "prototypes"))
+        self.train = self._make_split(train_size, "train")
+        self.test = self._make_split(test_size, "test")
+
+    # ------------------------------------------------------------------ #
+    def _make_split(self, size: int, split: str) -> DatasetSplit:
+        rng = new_rng(derive_seed(self.seed, "split", split))
+        labels = rng.integers(0, self.spec.num_classes, size=size)
+        images = sample_images(self.spec, labels, self._prototypes, rng=rng)
+        # Rescale to [0, 1]; post-ReLU activations then behave like those of
+        # normalised natural images.
+        low, high = images.min(), images.max()
+        if high > low:
+            images = (images - low) / (high - low)
+        return DatasetSplit(images=images, labels=labels)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_classes(self) -> int:
+        return self.spec.num_classes
+
+    @property
+    def image_shape(self) -> Tuple[int, int, int]:
+        return self.spec.shape
+
+    def __repr__(self) -> str:
+        return (
+            f"SyntheticImageDataset(name={self.name!r}, classes={self.num_classes}, "
+            f"shape={self.image_shape}, train={len(self.train)}, test={len(self.test)})"
+        )
+
+
+# ---------------------------------------------------------------------- #
+# Factories matching the paper's workloads
+# ---------------------------------------------------------------------- #
+def synthetic_mnist(
+    train_size: int = 512,
+    test_size: int = 256,
+    seed: int = 0,
+    image_size: int = 28,
+) -> SyntheticImageDataset:
+    """Grayscale 28×28, 10 classes — stands in for MNIST (LeNet-5 workload)."""
+    spec = ImageSpec(num_classes=10, channels=1, height=image_size, width=image_size,
+                     noise_std=0.12, max_shift=2)
+    return SyntheticImageDataset(spec, train_size, test_size, seed, name="synthetic-mnist")
+
+
+def synthetic_cifar10(
+    train_size: int = 512,
+    test_size: int = 256,
+    seed: int = 0,
+    image_size: int = 32,
+) -> SyntheticImageDataset:
+    """RGB 32×32, 10 classes — stands in for CIFAR-10 (ResNet-20 workload)."""
+    spec = ImageSpec(num_classes=10, channels=3, height=image_size, width=image_size,
+                     noise_std=0.15, max_shift=2)
+    return SyntheticImageDataset(spec, train_size, test_size, seed, name="synthetic-cifar10")
+
+
+def synthetic_imagenet(
+    train_size: int = 512,
+    test_size: int = 256,
+    seed: int = 0,
+    image_size: int = 32,
+    num_classes: int = 10,
+) -> SyntheticImageDataset:
+    """RGB ``image_size``², ``num_classes`` classes — downscaled ImageNet stand-in
+    (ResNet-18 and SqueezeNet1.1 workloads).  The paper uses 224×224/1000
+    classes; see DESIGN.md for the substitution rationale."""
+    spec = ImageSpec(num_classes=num_classes, channels=3, height=image_size,
+                     width=image_size, noise_std=0.18, max_shift=3)
+    return SyntheticImageDataset(spec, train_size, test_size, seed, name="synthetic-imagenet")
+
+
+_FACTORIES = {
+    "mnist": synthetic_mnist,
+    "cifar10": synthetic_cifar10,
+    "imagenet": synthetic_imagenet,
+}
+
+
+def build_dataset(
+    name: str,
+    train_size: int = 512,
+    test_size: int = 256,
+    seed: int = 0,
+    **kwargs,
+) -> SyntheticImageDataset:
+    """Build a dataset by the paper's workload name (mnist/cifar10/imagenet)."""
+    if name not in _FACTORIES:
+        raise KeyError(f"unknown dataset '{name}', available: {sorted(_FACTORIES)}")
+    return _FACTORIES[name](train_size=train_size, test_size=test_size, seed=seed, **kwargs)

@@ -1,0 +1,62 @@
+"""A compact NumPy deep-learning framework.
+
+This subpackage is a from-scratch substrate standing in for PyTorch in the
+reproduction: it provides the layers, losses, optimisers and a trainer needed
+to obtain the CNN models the paper quantises (LeNet-5, ResNet-20, ResNet-18,
+SqueezeNet1.1), plus the hooks the PIM simulator and the calibration pipeline
+need (forward hooks and pluggable compute backends on MVM layers).
+"""
+
+from repro.nn import functional, init
+from repro.nn.activations import LeakyReLU, ReLU, Sigmoid, Tanh
+from repro.nn.layers import Conv2d, Dropout, Flatten, Linear
+from repro.nn.loss import CrossEntropyLoss, Loss, MSELoss
+from repro.nn.metrics import (
+    classification_report,
+    confusion_matrix,
+    top1_accuracy,
+    topk_accuracy,
+)
+from repro.nn.module import HookHandle, Identity, Module, Parameter, Sequential
+from repro.nn.normalization import BatchNorm2d
+from repro.nn.optim import SGD, Adam, CosineAnnealingLR, LRScheduler, Optimizer, StepLR
+from repro.nn.pooling import AvgPool2d, GlobalAvgPool2d, MaxPool2d
+from repro.nn.trainer import EpochStats, Trainer, TrainingHistory
+
+__all__ = [
+    "Adam",
+    "AvgPool2d",
+    "BatchNorm2d",
+    "Conv2d",
+    "CosineAnnealingLR",
+    "CrossEntropyLoss",
+    "Dropout",
+    "EpochStats",
+    "Flatten",
+    "GlobalAvgPool2d",
+    "HookHandle",
+    "Identity",
+    "LeakyReLU",
+    "LRScheduler",
+    "Linear",
+    "Loss",
+    "MSELoss",
+    "MaxPool2d",
+    "Module",
+    "Optimizer",
+    "Parameter",
+    "ReLU",
+    "SGD",
+    "Sequential",
+    "Sigmoid",
+    "StepLR",
+    "Tanh",
+    "Trainer",
+    "TrainingHistory",
+    "classification_report",
+    "confusion_matrix",
+    "functional",
+    "init",
+    "top1_accuracy",
+    "topk_accuracy",
+]

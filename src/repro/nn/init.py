@@ -1,0 +1,58 @@
+"""Weight-initialisation schemes for the NumPy DNN framework."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, new_rng
+
+
+def _fan_in_out(shape) -> tuple[int, int]:
+    """Compute fan-in / fan-out of a weight tensor.
+
+    Linear weights are ``(out, in)``; convolution weights are
+    ``(out_channels, in_channels, kh, kw)``.
+    """
+    if len(shape) == 2:
+        fan_out, fan_in = shape
+    elif len(shape) == 4:
+        receptive = shape[2] * shape[3]
+        fan_in = shape[1] * receptive
+        fan_out = shape[0] * receptive
+    else:
+        raise ValueError(f"unsupported weight shape for init: {shape}")
+    return fan_in, fan_out
+
+
+def kaiming_normal(shape, rng: SeedLike = None) -> np.ndarray:
+    """He-normal initialisation (suitable for ReLU networks)."""
+    rng = new_rng(rng)
+    fan_in, _ = _fan_in_out(shape)
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=shape)
+
+
+def kaiming_uniform(shape, rng: SeedLike = None) -> np.ndarray:
+    """He-uniform initialisation."""
+    rng = new_rng(rng)
+    fan_in, _ = _fan_in_out(shape)
+    bound = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_uniform(shape, rng: SeedLike = None) -> np.ndarray:
+    """Glorot-uniform initialisation (suitable for tanh/sigmoid networks)."""
+    rng = new_rng(rng)
+    fan_in, fan_out = _fan_in_out(shape)
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def zeros(shape) -> np.ndarray:
+    """All-zero initialisation (biases, BatchNorm shift)."""
+    return np.zeros(shape, dtype=np.float64)
+
+
+def ones(shape) -> np.ndarray:
+    """All-one initialisation (BatchNorm scale)."""
+    return np.ones(shape, dtype=np.float64)

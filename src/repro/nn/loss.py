@@ -1,0 +1,79 @@
+"""Loss functions for training the reproduction's model zoo."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nn import functional as F
+
+
+class Loss:
+    """Base class: ``forward`` returns the scalar loss, ``backward`` the
+    gradient with respect to the predictions."""
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def backward(self) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        return self.forward(predictions, targets)
+
+
+class CrossEntropyLoss(Loss):
+    """Softmax cross-entropy over integer class labels (mean reduction)."""
+
+    def __init__(self, label_smoothing: float = 0.0) -> None:
+        if not 0.0 <= label_smoothing < 1.0:
+            raise ValueError(f"label_smoothing must be in [0, 1), got {label_smoothing}")
+        self.label_smoothing = float(label_smoothing)
+        self._cache: Optional[Tuple[np.ndarray, np.ndarray]] = None
+
+    def forward(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        if logits.ndim != 2:
+            raise ValueError(f"logits must be (N, C), got shape {logits.shape}")
+        n, num_classes = logits.shape
+        targets = F.one_hot(labels, num_classes)
+        if self.label_smoothing > 0.0:
+            targets = (
+                targets * (1.0 - self.label_smoothing)
+                + self.label_smoothing / num_classes
+            )
+        log_probs = F.log_softmax(logits, axis=1)
+        loss = -(targets * log_probs).sum(axis=1).mean()
+        probs = np.exp(log_probs)
+        self._cache = (probs, targets)
+        return float(loss)
+
+    def backward(self) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("CrossEntropyLoss.backward called before forward")
+        probs, targets = self._cache
+        n = probs.shape[0]
+        return (probs - targets) / n
+
+
+class MSELoss(Loss):
+    """Mean-squared-error loss (mean reduction over all elements)."""
+
+    def __init__(self) -> None:
+        self._cache: Optional[Tuple[np.ndarray, np.ndarray]] = None
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        predictions = np.asarray(predictions, dtype=np.float64)
+        targets = np.asarray(targets, dtype=np.float64)
+        if predictions.shape != targets.shape:
+            raise ValueError(
+                f"shape mismatch: predictions {predictions.shape} vs targets {targets.shape}"
+            )
+        self._cache = (predictions, targets)
+        return float(np.mean((predictions - targets) ** 2))
+
+    def backward(self) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("MSELoss.backward called before forward")
+        predictions, targets = self._cache
+        return 2.0 * (predictions - targets) / predictions.size

@@ -1,0 +1,71 @@
+"""Evaluation metrics used throughout the reproduction."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+
+def top1_accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of samples whose arg-max prediction matches the label."""
+    logits = np.asarray(logits)
+    labels = np.asarray(labels)
+    if logits.ndim != 2:
+        raise ValueError(f"logits must be (N, C), got {logits.shape}")
+    if labels.shape[0] != logits.shape[0]:
+        raise ValueError("logits and labels batch sizes differ")
+    if logits.shape[0] == 0:
+        return 0.0
+    predictions = logits.argmax(axis=1)
+    return float(np.mean(predictions == labels))
+
+
+def topk_accuracy(logits: np.ndarray, labels: np.ndarray, k: int = 5) -> float:
+    """Fraction of samples whose label is within the top-``k`` predictions."""
+    logits = np.asarray(logits)
+    labels = np.asarray(labels)
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    k = min(k, logits.shape[1])
+    if logits.shape[0] == 0:
+        return 0.0
+    topk = np.argpartition(-logits, kth=k - 1, axis=1)[:, :k]
+    return float(np.mean(np.any(topk == labels[:, None], axis=1)))
+
+
+def confusion_matrix(
+    predictions: np.ndarray, labels: np.ndarray, num_classes: int
+) -> np.ndarray:
+    """Confusion matrix ``C[i, j]`` = count of true class ``i`` predicted as ``j``."""
+    predictions = np.asarray(predictions, dtype=np.int64)
+    labels = np.asarray(labels, dtype=np.int64)
+    if predictions.shape != labels.shape:
+        raise ValueError("predictions and labels must have the same shape")
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    np.add.at(matrix, (labels, predictions), 1)
+    return matrix
+
+
+def classification_report(
+    predictions: np.ndarray, labels: np.ndarray, num_classes: int
+) -> Dict[str, float]:
+    """Macro precision/recall/F1 plus accuracy as a flat dictionary."""
+    matrix = confusion_matrix(predictions, labels, num_classes)
+    true_pos = np.diag(matrix).astype(np.float64)
+    support = matrix.sum(axis=1).astype(np.float64)
+    predicted = matrix.sum(axis=0).astype(np.float64)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        recall = np.where(support > 0, true_pos / support, 0.0)
+        precision = np.where(predicted > 0, true_pos / predicted, 0.0)
+        f1 = np.where(
+            precision + recall > 0, 2 * precision * recall / (precision + recall), 0.0
+        )
+    total = matrix.sum()
+    accuracy = float(true_pos.sum() / total) if total else 0.0
+    return {
+        "accuracy": accuracy,
+        "macro_precision": float(precision.mean()),
+        "macro_recall": float(recall.mean()),
+        "macro_f1": float(f1.mean()),
+    }

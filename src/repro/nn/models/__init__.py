@@ -1,0 +1,24 @@
+"""Model zoo: the four CNN workloads evaluated in the paper."""
+
+from repro.nn.models.lenet import LeNet5
+from repro.nn.models.registry import (
+    WORKLOADS,
+    available_models,
+    build_model,
+    workload_info,
+)
+from repro.nn.models.resnet import BasicBlock, ResNet18, ResNet20
+from repro.nn.models.squeezenet import Fire, SqueezeNet11
+
+__all__ = [
+    "BasicBlock",
+    "Fire",
+    "LeNet5",
+    "ResNet18",
+    "ResNet20",
+    "SqueezeNet11",
+    "WORKLOADS",
+    "available_models",
+    "build_model",
+    "workload_info",
+]

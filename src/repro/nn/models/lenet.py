@@ -1,0 +1,76 @@
+"""LeNet-5, the MNIST workload of the paper's evaluation (Section V-A)."""
+
+from __future__ import annotations
+
+from repro.nn.activations import ReLU
+from repro.nn.layers import Conv2d, Flatten, Linear
+from repro.nn.module import Module, Sequential
+from repro.nn.pooling import MaxPool2d
+from repro.utils.rng import SeedLike, derive_seed, new_rng
+
+
+class LeNet5(Module):
+    """Classic LeNet-5 topology (conv-pool-conv-pool-fc-fc-fc).
+
+    Parameters
+    ----------
+    num_classes:
+        Number of output classes (10 for MNIST-style data).
+    in_channels:
+        Input channels (1 for grayscale digits).
+    image_size:
+        Spatial size of the (square) input image; the classifier input size
+        is derived from it so the same class serves 28×28 and 32×32 inputs.
+    width_multiplier:
+        Scales the channel counts; ``1.0`` reproduces the original 6/16
+        feature maps.
+    """
+
+    def __init__(
+        self,
+        num_classes: int = 10,
+        in_channels: int = 1,
+        image_size: int = 28,
+        width_multiplier: float = 1.0,
+        rng: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        seed = new_rng(rng).integers(0, 2**31 - 1)
+        c1 = max(2, int(round(6 * width_multiplier)))
+        c2 = max(4, int(round(16 * width_multiplier)))
+        self.num_classes = int(num_classes)
+        self.in_channels = int(in_channels)
+        self.image_size = int(image_size)
+
+        self.features = Sequential(
+            Conv2d(in_channels, c1, kernel_size=5, padding=2,
+                   rng=derive_seed(seed, "conv1")),
+            ReLU(),
+            MaxPool2d(2),
+            Conv2d(c1, c2, kernel_size=5, padding=0,
+                   rng=derive_seed(seed, "conv2")),
+            ReLU(),
+            MaxPool2d(2),
+        )
+        # Spatial size after conv/pool stack: image_size -> /2 -> -4 -> /2.
+        spatial = ((image_size // 2) - 4) // 2
+        if spatial <= 0:
+            raise ValueError(f"image_size={image_size} too small for LeNet-5")
+        flat = c2 * spatial * spatial
+        f1 = max(8, int(round(120 * width_multiplier)))
+        f2 = max(8, int(round(84 * width_multiplier)))
+        self.classifier = Sequential(
+            Flatten(),
+            Linear(flat, f1, rng=derive_seed(seed, "fc1")),
+            ReLU(),
+            Linear(f1, f2, rng=derive_seed(seed, "fc2")),
+            ReLU(),
+            Linear(f2, num_classes, rng=derive_seed(seed, "fc3")),
+        )
+
+    def forward(self, x):
+        return self.classifier(self.features(x))
+
+    def backward(self, grad_out):
+        grad = self.classifier.backward(grad_out)
+        return self.features.backward(grad)

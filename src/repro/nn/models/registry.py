@@ -1,0 +1,111 @@
+"""Model registry mapping the paper's workload names to constructors.
+
+The paper evaluates four (network, dataset) pairs (Section V-A):
+
+* ResNet-20 on CIFAR-10
+* ResNet-18 on ImageNet
+* SqueezeNet1.1 on ImageNet
+* LeNet-5 on MNIST
+
+``build_model(name, ...)`` creates the corresponding topology; a
+``preset="tiny"`` variant shrinks widths so tests and quick examples finish
+in seconds while exercising exactly the same code paths.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.nn.models.lenet import LeNet5
+from repro.nn.models.resnet import ResNet18, ResNet20
+from repro.nn.models.squeezenet import SqueezeNet11
+from repro.nn.module import Module
+from repro.utils.rng import SeedLike
+
+# Width multipliers and structural knobs per preset.
+_PRESETS = {
+    "paper": {"width": 1.0, "blocks": 3},
+    "small": {"width": 0.5, "blocks": 2},
+    "tiny": {"width": 0.25, "blocks": 1},
+}
+
+# The four paper workloads with their dataset shapes.
+WORKLOADS: Dict[str, Dict] = {
+    "lenet5": {"dataset": "mnist", "in_channels": 1, "image_size": 28, "num_classes": 10},
+    "resnet20": {"dataset": "cifar10", "in_channels": 3, "image_size": 32, "num_classes": 10},
+    "resnet18": {"dataset": "imagenet", "in_channels": 3, "image_size": 32, "num_classes": 10},
+    "squeezenet1_1": {"dataset": "imagenet", "in_channels": 3, "image_size": 32, "num_classes": 10},
+}
+
+
+def available_models() -> list:
+    """Names accepted by :func:`build_model`."""
+    return sorted(WORKLOADS)
+
+
+def workload_info(name: str) -> Dict:
+    """Dataset / shape metadata for a workload name."""
+    if name not in WORKLOADS:
+        raise KeyError(f"unknown model '{name}', available: {available_models()}")
+    return dict(WORKLOADS[name])
+
+
+def build_model(
+    name: str,
+    preset: str = "small",
+    num_classes: Optional[int] = None,
+    rng: SeedLike = None,
+) -> Module:
+    """Instantiate one of the paper's workloads.
+
+    Parameters
+    ----------
+    name:
+        One of ``lenet5``, ``resnet20``, ``resnet18``, ``squeezenet1_1``.
+    preset:
+        ``paper`` (full width), ``small`` (half width) or ``tiny`` (quarter
+        width, fewer blocks) — structural scaling for constrained runtimes.
+    num_classes:
+        Override the class count (defaults to the workload's).
+    """
+    if name not in WORKLOADS:
+        raise KeyError(f"unknown model '{name}', available: {available_models()}")
+    if preset not in _PRESETS:
+        raise KeyError(f"unknown preset '{preset}', available: {sorted(_PRESETS)}")
+    info = WORKLOADS[name]
+    cfg = _PRESETS[preset]
+    classes = num_classes if num_classes is not None else info["num_classes"]
+
+    if name == "lenet5":
+        return LeNet5(
+            num_classes=classes,
+            in_channels=info["in_channels"],
+            image_size=info["image_size"],
+            width_multiplier=cfg["width"],
+            rng=rng,
+        )
+    if name == "resnet20":
+        return ResNet20(
+            num_classes=classes,
+            in_channels=info["in_channels"],
+            width_multiplier=cfg["width"],
+            blocks_per_stage=cfg["blocks"],
+            rng=rng,
+        )
+    if name == "resnet18":
+        return ResNet18(
+            num_classes=classes,
+            in_channels=info["in_channels"],
+            width_multiplier=cfg["width"],
+            small_input=True,
+            rng=rng,
+        )
+    if name == "squeezenet1_1":
+        return SqueezeNet11(
+            num_classes=classes,
+            in_channels=info["in_channels"],
+            width_multiplier=cfg["width"],
+            small_input=True,
+            rng=rng,
+        )
+    raise AssertionError("unreachable")  # pragma: no cover

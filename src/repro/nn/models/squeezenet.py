@@ -1,0 +1,121 @@
+"""SqueezeNet v1.1, the third ImageNet workload in the paper's evaluation.
+
+The Fire module (squeeze 1×1 → parallel expand 1×1 / expand 3×3 → channel
+concatenation) is implemented with explicit forward/backward because the
+framework has no autograd; the concatenation split is undone in ``backward``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.nn.activations import ReLU
+from repro.nn.layers import Conv2d, Dropout
+from repro.nn.module import Module, Sequential
+from repro.nn.normalization import BatchNorm2d
+from repro.nn.pooling import GlobalAvgPool2d, MaxPool2d
+from repro.utils.rng import SeedLike, derive_seed, new_rng
+
+
+class Fire(Module):
+    """SqueezeNet Fire module."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        squeeze_channels: int,
+        expand1x1_channels: int,
+        expand3x3_channels: int,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        self.squeeze = Conv2d(in_channels, squeeze_channels, kernel_size=1,
+                              rng=derive_seed(seed, "squeeze"))
+        self.squeeze_relu = ReLU()
+        self.expand1x1 = Conv2d(squeeze_channels, expand1x1_channels, kernel_size=1,
+                                rng=derive_seed(seed, "e1"))
+        self.expand1x1_relu = ReLU()
+        self.expand3x3 = Conv2d(squeeze_channels, expand3x3_channels, kernel_size=3,
+                                padding=1, rng=derive_seed(seed, "e3"))
+        self.expand3x3_relu = ReLU()
+        self.out_channels = expand1x1_channels + expand3x3_channels
+        self._split = expand1x1_channels
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        squeezed = self.squeeze_relu(self.squeeze(x))
+        left = self.expand1x1_relu(self.expand1x1(squeezed))
+        right = self.expand3x3_relu(self.expand3x3(squeezed))
+        return np.concatenate([left, right], axis=1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        grad_left = grad_out[:, : self._split]
+        grad_right = grad_out[:, self._split :]
+        grad_left = self.expand1x1.backward(self.expand1x1_relu.backward(grad_left))
+        grad_right = self.expand3x3.backward(self.expand3x3_relu.backward(grad_right))
+        grad_squeezed = grad_left + grad_right
+        return self.squeeze.backward(self.squeeze_relu.backward(grad_squeezed))
+
+
+class SqueezeNet11(Module):
+    """SqueezeNet v1.1 adapted for configurable input sizes and class counts.
+
+    ``width_multiplier`` scales all channel counts; ``small_input`` replaces
+    the stride-2 stem with a stride-1 stem so 32×32 synthetic-ImageNet images
+    survive the three max-pool stages.
+    """
+
+    def __init__(
+        self,
+        num_classes: int = 100,
+        in_channels: int = 3,
+        width_multiplier: float = 1.0,
+        small_input: bool = True,
+        dropout: float = 0.0,
+        rng: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        seed = int(new_rng(rng).integers(0, 2**31 - 1))
+        self.num_classes = int(num_classes)
+        self.in_channels = int(in_channels)
+
+        def scaled(value: int) -> int:
+            return max(2, int(round(value * width_multiplier)))
+
+        stem_stride = 1 if small_input else 2
+        self.features = Sequential(
+            Conv2d(in_channels, scaled(64), kernel_size=3, stride=stem_stride,
+                   padding=1, rng=derive_seed(seed, "stem")),
+            ReLU(),
+            MaxPool2d(2),
+            Fire(scaled(64), scaled(16), scaled(64), scaled(64), seed=derive_seed(seed, "f2")),
+            Fire(scaled(128), scaled(16), scaled(64), scaled(64), seed=derive_seed(seed, "f3")),
+            MaxPool2d(2),
+            Fire(scaled(128), scaled(32), scaled(128), scaled(128), seed=derive_seed(seed, "f4")),
+            Fire(scaled(256), scaled(32), scaled(128), scaled(128), seed=derive_seed(seed, "f5")),
+            MaxPool2d(2),
+            Fire(scaled(256), scaled(48), scaled(192), scaled(192), seed=derive_seed(seed, "f6")),
+            Fire(scaled(384), scaled(48), scaled(192), scaled(192), seed=derive_seed(seed, "f7")),
+            Fire(scaled(384), scaled(64), scaled(256), scaled(256), seed=derive_seed(seed, "f8")),
+            Fire(scaled(512), scaled(64), scaled(256), scaled(256), seed=derive_seed(seed, "f9")),
+        )
+        classifier_layers: List[Module] = []
+        if dropout > 0.0:
+            classifier_layers.append(Dropout(dropout, rng=derive_seed(seed, "drop")))
+        classifier_layers.extend(
+            [
+                Conv2d(scaled(512), num_classes, kernel_size=1,
+                       rng=derive_seed(seed, "conv10")),
+                ReLU(),
+                GlobalAvgPool2d(),
+            ]
+        )
+        self.classifier = Sequential(*classifier_layers)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.classifier(self.features(x))
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        grad = self.classifier.backward(grad_out)
+        return self.features.backward(grad)

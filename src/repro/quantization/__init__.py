@@ -1,0 +1,41 @@
+"""Algorithm-level quantization datapath (paper Section II-B, V-A)."""
+
+from repro.quantization.observers import HistogramObserver, MinMaxObserver
+from repro.quantization.ptq import (
+    LayerQuantization,
+    MVM_LAYER_TYPES,
+    QuantizedModel,
+    find_mvm_layers,
+    quantize_model,
+)
+from repro.quantization.qconfig import DEFAULT_QUANT_CONFIG, QuantizationConfig
+from repro.quantization.qlayers import FakeQuantBackend, attach_backend, detach_backend
+from repro.quantization.uniform import (
+    QuantParams,
+    delta_from_range,
+    quantization_mse,
+    quantize_uniform,
+    symmetric_quant_params,
+    uniform_grid,
+)
+
+__all__ = [
+    "DEFAULT_QUANT_CONFIG",
+    "FakeQuantBackend",
+    "HistogramObserver",
+    "LayerQuantization",
+    "MVM_LAYER_TYPES",
+    "MinMaxObserver",
+    "QuantParams",
+    "QuantizationConfig",
+    "QuantizedModel",
+    "attach_backend",
+    "delta_from_range",
+    "detach_backend",
+    "find_mvm_layers",
+    "quantization_mse",
+    "quantize_model",
+    "quantize_uniform",
+    "symmetric_quant_params",
+    "uniform_grid",
+]

@@ -1,0 +1,103 @@
+"""Observers collect activation statistics during calibration passes.
+
+The paper's PTQ scheme determines weight/activation scaling factors from the
+maximum absolute values seen on a 32-image calibration set (Section V-A).
+Observers are attached to layers via forward hooks and accumulate the
+statistics needed to derive those scales.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.quantization.uniform import QuantParams, symmetric_quant_params
+from repro.utils.validation import check_in_range, check_integer
+
+
+class MinMaxObserver:
+    """Tracks running min / max / max-abs of every tensor it observes."""
+
+    def __init__(self, num_bits: int = 8, signed: bool = True) -> None:
+        self.num_bits = check_integer(num_bits, "num_bits")
+        check_in_range(self.num_bits, "num_bits", low=1, high=32)
+        self.signed = bool(signed)
+        self.min_value: Optional[float] = None
+        self.max_value: Optional[float] = None
+        self.count = 0
+
+    def observe(self, x: np.ndarray) -> None:
+        """Update statistics with a new tensor."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.size == 0:
+            return
+        batch_min = float(x.min())
+        batch_max = float(x.max())
+        self.min_value = batch_min if self.min_value is None else min(self.min_value, batch_min)
+        self.max_value = batch_max if self.max_value is None else max(self.max_value, batch_max)
+        self.count += int(x.size)
+
+    @property
+    def max_abs(self) -> float:
+        if self.min_value is None or self.max_value is None:
+            return 0.0
+        return max(abs(self.min_value), abs(self.max_value))
+
+    def quant_params(self) -> QuantParams:
+        """Derive max-abs symmetric quantization parameters."""
+        if self.count == 0:
+            raise RuntimeError("observer has seen no data; run a calibration pass first")
+        return symmetric_quant_params(self.max_abs, self.num_bits, self.signed)
+
+    def reset(self) -> None:
+        self.min_value = None
+        self.max_value = None
+        self.count = 0
+
+
+class HistogramObserver(MinMaxObserver):
+    """Min/max observer that also accumulates a value histogram.
+
+    Used by the distribution-analysis step of the co-design search to judge
+    whether a layer's values are skewed/unimodal/multimodal without keeping
+    every sample in memory.
+    """
+
+    def __init__(
+        self,
+        num_bits: int = 8,
+        signed: bool = True,
+        num_bins: int = 128,
+        range_hint: Optional[tuple] = None,
+    ) -> None:
+        super().__init__(num_bits=num_bits, signed=signed)
+        if num_bins <= 1:
+            raise ValueError(f"num_bins must be > 1, got {num_bins}")
+        self.num_bins = int(num_bins)
+        self._range_hint = range_hint
+        self._counts: Optional[np.ndarray] = None
+        self._edges: Optional[np.ndarray] = None
+
+    def observe(self, x: np.ndarray) -> None:
+        super().observe(x)
+        x = np.asarray(x, dtype=np.float64).ravel()
+        if x.size == 0:
+            return
+        if self._edges is None:
+            low, high = self._range_hint if self._range_hint else (x.min(), x.max())
+            if high <= low:
+                high = low + 1.0
+            # Widen slightly so later batches rarely fall outside.
+            span = high - low
+            self._edges = np.linspace(low - 0.5 * span, high + 0.5 * span, self.num_bins + 1)
+            self._counts = np.zeros(self.num_bins, dtype=np.int64)
+        counts, _ = np.histogram(np.clip(x, self._edges[0], self._edges[-1]), bins=self._edges)
+        self._counts += counts
+
+    @property
+    def histogram(self) -> tuple:
+        """``(counts, bin_edges)`` of everything observed so far."""
+        if self._counts is None or self._edges is None:
+            raise RuntimeError("observer has seen no data; run a calibration pass first")
+        return self._counts.copy(), self._edges.copy()

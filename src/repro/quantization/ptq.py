@@ -1,0 +1,160 @@
+"""Post-training quantization (PTQ) of a trained float model.
+
+This reproduces the algorithm-level quantization the paper assumes as its
+starting point (Section V-A): 8-bit symmetric uniform quantization of weights
+and input activations with max-abs scaling calibrated on a handful of images,
+no retraining.  The result — per-layer integer weights plus input/weight
+scales — is exactly what the crossbar mapper consumes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.layers import Conv2d, Linear
+from repro.nn.module import Module
+from repro.quantization.observers import MinMaxObserver
+from repro.quantization.qconfig import DEFAULT_QUANT_CONFIG, QuantizationConfig
+from repro.quantization.uniform import QuantParams, symmetric_quant_params
+from repro.utils.logging import get_logger
+
+logger = get_logger("quantization.ptq")
+
+#: Layer types that are executed as matrix-vector multiplications on crossbars.
+MVM_LAYER_TYPES = (Conv2d, Linear)
+
+
+@dataclasses.dataclass
+class LayerQuantization:
+    """Quantization artefacts of one MVM layer.
+
+    Attributes
+    ----------
+    name:
+        Dotted module path inside the model (e.g. ``"stage1.0.conv1"``).
+    kind:
+        ``"conv"`` or ``"linear"``.
+    weight_params / input_params:
+        Affine quantization parameters for the weights and the layer input.
+    weight_codes:
+        Integer weight codes with the same shape as the float weights.
+    """
+
+    name: str
+    kind: str
+    weight_params: QuantParams
+    input_params: QuantParams
+    weight_codes: np.ndarray
+
+    @property
+    def output_scale(self) -> float:
+        """Scale of the integer MVM result (`input_scale × weight_scale`)."""
+        return self.weight_params.scale * self.input_params.scale
+
+
+@dataclasses.dataclass
+class QuantizedModel:
+    """A float model plus the per-layer PTQ artefacts needed by the PIM path."""
+
+    model: Module
+    layers: Dict[str, LayerQuantization]
+    config: QuantizationConfig
+
+    def layer(self, name: str) -> LayerQuantization:
+        if name not in self.layers:
+            raise KeyError(f"no quantization recorded for layer '{name}'")
+        return self.layers[name]
+
+    @property
+    def layer_names(self) -> List[str]:
+        return list(self.layers)
+
+
+def find_mvm_layers(model: Module) -> List[Tuple[str, Module]]:
+    """All (name, layer) pairs that map onto crossbars, in forward order."""
+    return [
+        (name, module)
+        for name, module in model.named_modules()
+        if isinstance(module, MVM_LAYER_TYPES)
+    ]
+
+
+def _observe_inputs(
+    model: Module, calibration_images: np.ndarray, batch_size: int
+) -> Dict[str, MinMaxObserver]:
+    """Run calibration batches, recording each MVM layer's input range."""
+    observers: Dict[str, MinMaxObserver] = {}
+    handles = []
+    for name, layer in find_mvm_layers(model):
+        observer = MinMaxObserver()
+        observers[name] = observer
+
+        def hook(module, inputs, output, _observer=observer):
+            _observer.observe(inputs)
+
+        handles.append(layer.register_forward_hook(hook))
+
+    model.eval()
+    try:
+        for start in range(0, calibration_images.shape[0], batch_size):
+            model(calibration_images[start : start + batch_size])
+    finally:
+        for handle in handles:
+            handle.remove()
+    return observers
+
+
+def quantize_model(
+    model: Module,
+    calibration_images: np.ndarray,
+    config: Optional[QuantizationConfig] = None,
+    batch_size: int = 32,
+) -> QuantizedModel:
+    """Apply max-abs PTQ to every Conv2d/Linear layer of ``model``.
+
+    Parameters
+    ----------
+    model:
+        A trained float model (left unmodified).
+    calibration_images:
+        ``(N, C, H, W)`` images used only to record activation ranges — the
+        paper uses 32 training images.
+    config:
+        Bit-width configuration; defaults to the paper's 8/8/16 datapath.
+    """
+    if calibration_images.ndim != 4:
+        raise ValueError(
+            f"calibration_images must be (N, C, H, W), got {calibration_images.shape}"
+        )
+    config = config or DEFAULT_QUANT_CONFIG
+    observers = _observe_inputs(model, calibration_images, batch_size)
+
+    layers: Dict[str, LayerQuantization] = {}
+    for name, layer in find_mvm_layers(model):
+        observer = observers[name]
+        weight = layer.weight.data
+        weight_params = symmetric_quant_params(
+            float(np.abs(weight).max()), config.weight_bits, signed=config.signed_weights
+        )
+        # MVM-layer inputs are non-negative in the supported topologies
+        # (images and post-ReLU activations); fall back to a signed grid if a
+        # custom model violates that assumption.
+        signed_input = observer.min_value is not None and observer.min_value < -1e-9
+        input_params = symmetric_quant_params(
+            observer.max_abs, config.activation_bits, signed=signed_input
+        )
+        layers[name] = LayerQuantization(
+            name=name,
+            kind="conv" if isinstance(layer, Conv2d) else "linear",
+            weight_params=weight_params,
+            input_params=input_params,
+            weight_codes=weight_params.quantize(weight),
+        )
+        logger.debug(
+            "quantized %s: w_scale=%.3g in_scale=%.3g signed_in=%s",
+            name, weight_params.scale, input_params.scale, signed_input,
+        )
+    return QuantizedModel(model=model, layers=layers, config=config)

@@ -1,0 +1,44 @@
+"""Quantization configuration shared by PTQ and the PIM datapath."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.utils.validation import check_in_range, check_integer
+
+
+@dataclasses.dataclass(frozen=True)
+class QuantizationConfig:
+    """Bit-widths of the algorithm-level datapath (paper Section V-A).
+
+    Attributes
+    ----------
+    weight_bits:
+        ``Kw`` — bit-width of the stored weights (8 in the paper).
+    activation_bits:
+        ``Ki`` — bit-width of the input activations fed to the DACs (8).
+    partial_sum_bits:
+        Width of the digital accumulator holding merged partial sums (16).
+    signed_weights:
+        Weights are signed and mapped differentially onto positive/negative
+        crossbars; activations entering MVM layers are non-negative
+        (post-ReLU / normalised images) and use an unsigned grid.
+    """
+
+    weight_bits: int = 8
+    activation_bits: int = 8
+    partial_sum_bits: int = 16
+    signed_weights: bool = True
+
+    def __post_init__(self) -> None:
+        for name in ("weight_bits", "activation_bits", "partial_sum_bits"):
+            value = check_integer(getattr(self, name), name)
+            check_in_range(value, name, low=1, high=32)
+
+    @property
+    def weight_magnitude_bits(self) -> int:
+        """Bits needed for the weight magnitude on a differential mapping."""
+        return self.weight_bits - 1 if self.signed_weights else self.weight_bits
+
+
+DEFAULT_QUANT_CONFIG = QuantizationConfig()

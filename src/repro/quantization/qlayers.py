@@ -1,0 +1,80 @@
+"""Fake-quantized compute backend for algorithm-level accuracy references.
+
+The paper's Fig. 6 includes an "8/f" reference point: the model with 8-bit
+quantized weights and activations but an *ideal* (lossless) MVM datapath.
+:class:`FakeQuantBackend` reproduces that reference by routing each MVM layer
+through quantize → exact matmul → dequantize, without any crossbar or ADC
+effects.  It plugs into ``Conv2d.compute_backend`` / ``Linear.compute_backend``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.layers import Conv2d, Linear
+from repro.nn.module import Module
+from repro.quantization.ptq import QuantizedModel, find_mvm_layers
+
+
+class FakeQuantBackend:
+    """Compute backend applying per-layer fake quantization to weights/inputs."""
+
+    def __init__(self, quantized: QuantizedModel) -> None:
+        self._quantized = quantized
+        self._layer_names: Dict[int, str] = {
+            id(layer): name for name, layer in find_mvm_layers(quantized.model)
+        }
+
+    def _params_for(self, layer: Module):
+        name = self._layer_names.get(id(layer))
+        if name is None:
+            raise KeyError(
+                "layer is not part of the quantized model this backend was built from"
+            )
+        return self._quantized.layer(name)
+
+    def conv2d(
+        self,
+        layer: Conv2d,
+        x: np.ndarray,
+        weight: np.ndarray,
+        bias: Optional[np.ndarray],
+        stride: Tuple[int, int],
+        padding: Tuple[int, int],
+    ) -> np.ndarray:
+        lq = self._params_for(layer)
+        x_q = lq.input_params.quantize_dequantize(x)
+        w_q = lq.weight_params.dequantize(lq.weight_codes)
+        out, _, _ = F.conv2d_forward(x_q, w_q, bias, stride, padding)
+        return out
+
+    def linear(
+        self,
+        layer: Linear,
+        x: np.ndarray,
+        weight: np.ndarray,
+        bias: Optional[np.ndarray],
+    ) -> np.ndarray:
+        lq = self._params_for(layer)
+        x_q = lq.input_params.quantize_dequantize(x)
+        w_q = lq.weight_params.dequantize(lq.weight_codes)
+        return F.linear_forward(x_q, w_q, bias)
+
+
+def attach_backend(model: Module, backend) -> list:
+    """Attach ``backend`` to every MVM layer of ``model``; returns the layers
+    touched so the caller can detach later with :func:`detach_backend`."""
+    touched = []
+    for _, layer in find_mvm_layers(model):
+        layer.compute_backend = backend
+        touched.append(layer)
+    return touched
+
+
+def detach_backend(model: Module) -> None:
+    """Remove any compute backend from every MVM layer of ``model``."""
+    for _, layer in find_mvm_layers(model):
+        layer.compute_backend = None

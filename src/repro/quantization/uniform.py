@@ -1,0 +1,138 @@
+"""Uniform quantization primitives (paper Eq. 1).
+
+Two flavours are used throughout the datapath:
+
+* **Unsigned uniform quantization** ``Qk(x, Δ)`` — maps a non-negative real
+  value onto ``{0, Δ, 2Δ, …, (2^k − 1)Δ}`` by rounding and clamping.  This is
+  the paper's Eq. 1 and also the transfer function of an ideal ``k``-bit ADC
+  whose LSB equals ``Δ``.
+* **Symmetric signed quantization** — used for weights and (signed)
+  activations at the algorithm level: an 8-bit integer grid centred on zero
+  whose scale is set from the maximum absolute value (paper Section V-A).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.numeric import round_half_up
+from repro.utils.validation import check_in_range, check_integer, check_positive
+
+
+def quantize_uniform(
+    x: np.ndarray, delta: float, num_bits: int, dequantize: bool = True
+) -> np.ndarray:
+    """Paper Eq. 1: ``Qk(x, Δ) = Δ · clamp(round(x / Δ), 0, 2^k − 1)``.
+
+    Parameters
+    ----------
+    x:
+        Non-negative values (scalars or arrays).  Negative inputs are clamped
+        to the bottom code, mirroring a single-ended ADC front end.
+    delta:
+        The quantization step ``Δ``.
+    num_bits:
+        The code width ``k``; the grid has ``2^k`` points (codes 0 … 2^k − 1).
+    dequantize:
+        When True (default) return values on the real grid (``code · Δ``);
+        when False return the integer codes.
+    """
+    num_bits = check_integer(num_bits, "num_bits")
+    check_in_range(num_bits, "num_bits", low=1, high=32)
+    check_positive(delta, "delta")
+    x = np.asarray(x, dtype=np.float64)
+    max_code = (1 << num_bits) - 1
+    codes = np.clip(round_half_up(x / delta), 0, max_code)
+    if dequantize:
+        return codes * delta
+    return codes.astype(np.int64)
+
+
+def uniform_grid(delta: float, num_bits: int) -> np.ndarray:
+    """All representable values of :func:`quantize_uniform`."""
+    max_code = (1 << check_integer(num_bits, "num_bits")) - 1
+    return np.arange(max_code + 1, dtype=np.float64) * float(delta)
+
+
+def delta_from_range(low: float, high: float, num_bits: int) -> float:
+    """Step size for a ``num_bits`` uniform quantizer covering ``[low, high]``
+    (paper Eq. 1: ``Δ = (b − a) / (2^k − 1)``)."""
+    num_bits = check_integer(num_bits, "num_bits")
+    if high <= low:
+        raise ValueError(f"invalid range [{low}, {high}]")
+    return (float(high) - float(low)) / ((1 << num_bits) - 1)
+
+
+@dataclasses.dataclass(frozen=True)
+class QuantParams:
+    """Scale/zero-point pair describing an affine integer quantization.
+
+    ``signed`` selects between a symmetric signed grid (weights) and an
+    unsigned grid (post-ReLU activations).
+    """
+
+    scale: float
+    num_bits: int
+    signed: bool
+    zero_point: int = 0
+
+    def __post_init__(self) -> None:
+        check_positive(self.scale, "scale")
+        check_in_range(self.num_bits, "num_bits", low=1, high=32)
+
+    @property
+    def qmin(self) -> int:
+        if self.signed:
+            return -(1 << (self.num_bits - 1)) + 1
+        return 0
+
+    @property
+    def qmax(self) -> int:
+        if self.signed:
+            return (1 << (self.num_bits - 1)) - 1
+        return (1 << self.num_bits) - 1
+
+    def quantize(self, x: np.ndarray) -> np.ndarray:
+        """Real values -> integer codes (int64)."""
+        x = np.asarray(x, dtype=np.float64)
+        codes = round_half_up(x / self.scale) + self.zero_point
+        return np.clip(codes, self.qmin, self.qmax).astype(np.int64)
+
+    def dequantize(self, codes: np.ndarray) -> np.ndarray:
+        """Integer codes -> real values."""
+        return (np.asarray(codes, dtype=np.float64) - self.zero_point) * self.scale
+
+    def quantize_dequantize(self, x: np.ndarray) -> np.ndarray:
+        """Round-trip (the "fake quantization" used for accuracy evaluation)."""
+        return self.dequantize(self.quantize(x))
+
+
+def symmetric_quant_params(
+    max_abs: float, num_bits: int = 8, signed: bool = True
+) -> QuantParams:
+    """Max-abs calibration used by the paper for weights and activations.
+
+    For signed data the scale maps ``±max_abs`` onto ``±(2^(k−1) − 1)``; for
+    unsigned data it maps ``[0, max_abs]`` onto ``[0, 2^k − 1]``.  A zero or
+    negative ``max_abs`` falls back to a unit scale so that all-zero tensors
+    quantize to all-zero codes instead of raising.
+    """
+    num_bits = check_integer(num_bits, "num_bits")
+    levels = (1 << (num_bits - 1)) - 1 if signed else (1 << num_bits) - 1
+    max_abs = float(max_abs)
+    scale = max_abs / levels if max_abs > 0 else 1.0
+    return QuantParams(scale=scale, num_bits=num_bits, signed=signed)
+
+
+def quantization_mse(x: np.ndarray, x_hat: np.ndarray) -> float:
+    """Mean-squared quantization error between a tensor and its reconstruction."""
+    x = np.asarray(x, dtype=np.float64)
+    x_hat = np.asarray(x_hat, dtype=np.float64)
+    if x.shape != x_hat.shape:
+        raise ValueError(f"shape mismatch: {x.shape} vs {x_hat.shape}")
+    if x.size == 0:
+        return 0.0
+    return float(np.mean((x - x_hat) ** 2))

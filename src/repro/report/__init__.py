@@ -1,0 +1,30 @@
+"""Reporting: text tables, figure builders and experiment records."""
+
+from repro.report.experiments import ExperimentRecord, summarize_records
+from repro.report.figures import (
+    fig3a_distribution_record,
+    fig6_accuracy_record,
+    fig6c_ops_record,
+    fig7_power_record,
+)
+from repro.report.tables import (
+    ascii_bar_chart,
+    format_cell,
+    format_series,
+    format_table,
+    histogram_rows,
+)
+
+__all__ = [
+    "ExperimentRecord",
+    "ascii_bar_chart",
+    "fig3a_distribution_record",
+    "fig6_accuracy_record",
+    "fig6c_ops_record",
+    "fig7_power_record",
+    "format_cell",
+    "format_series",
+    "format_table",
+    "histogram_rows",
+    "summarize_records",
+]

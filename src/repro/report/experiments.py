@@ -1,0 +1,87 @@
+"""Experiment records: structured results for every reproduced figure.
+
+Each benchmark builds an :class:`ExperimentRecord`, prints it, and (when a
+path is supplied) saves it as JSON so EXPERIMENTS.md can quote exact numbers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.report.tables import format_table
+
+Number = Union[int, float]
+
+
+@dataclasses.dataclass
+class ExperimentRecord:
+    """One reproduced experiment (a figure or an ablation).
+
+    Attributes
+    ----------
+    experiment_id:
+        Identifier from DESIGN.md's experiment index (e.g. ``"fig6c"``).
+    description:
+        One-line description of what is being reproduced.
+    paper_reference:
+        What the paper reports for this artefact (free text).
+    rows:
+        The regenerated data, one dict per row/series point.
+    metadata:
+        Workload sizes, presets, seeds — whatever is needed to rerun.
+    """
+
+    experiment_id: str
+    description: str
+    paper_reference: str
+    rows: List[Dict[str, object]] = dataclasses.field(default_factory=list)
+    metadata: Dict[str, object] = dataclasses.field(default_factory=dict)
+
+    def add_row(self, **fields: object) -> None:
+        self.rows.append(dict(fields))
+
+    def to_table(self, columns: Optional[Sequence[str]] = None) -> str:
+        header = f"[{self.experiment_id}] {self.description}\npaper: {self.paper_reference}"
+        return f"{header}\n{format_table(self.rows, columns=columns)}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "experiment_id": self.experiment_id,
+            "description": self.description,
+            "paper_reference": self.paper_reference,
+            "rows": self.rows,
+            "metadata": self.metadata,
+        }
+
+    def save(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True, default=float))
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "ExperimentRecord":
+        data = json.loads(Path(path).read_text())
+        return cls(
+            experiment_id=data["experiment_id"],
+            description=data["description"],
+            paper_reference=data["paper_reference"],
+            rows=list(data.get("rows", [])),
+            metadata=dict(data.get("metadata", {})),
+        )
+
+
+def summarize_records(records: Sequence[ExperimentRecord]) -> str:
+    """Short index of a set of experiment records."""
+    rows = [
+        {
+            "experiment": record.experiment_id,
+            "description": record.description,
+            "rows": len(record.rows),
+        }
+        for record in records
+    ]
+    return format_table(rows)

@@ -1,0 +1,19 @@
+"""End-to-end PIM simulation (the reproduction's DNN+NeuroSim substitute)."""
+
+from repro.sim.capture import DistributionCollector, ReservoirSampler
+from repro.sim.fidelity import GaussianReadNoise, NoNoise, ProportionalConductanceNoise
+from repro.sim.pim_layer import PimBackend
+from repro.sim.simulator import PimSimulator
+from repro.sim.stats import LayerSimStats, SimulationResult
+
+__all__ = [
+    "DistributionCollector",
+    "GaussianReadNoise",
+    "LayerSimStats",
+    "NoNoise",
+    "PimBackend",
+    "PimSimulator",
+    "ProportionalConductanceNoise",
+    "ReservoirSampler",
+    "SimulationResult",
+]

@@ -1,0 +1,73 @@
+"""Optional analog non-ideality injection for the PIM datapath.
+
+The paper's evaluation assumes an ideal analog front end (all accuracy loss
+comes from ADC quantization), but reviewers of ReRAM work routinely ask how
+robust a scheme is to analog noise.  The simulator therefore accepts a noise
+model applied to the raw bit-line values *before* A/D conversion; the default
+is no noise.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Protocol
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, new_rng
+from repro.utils.validation import check_in_range
+
+
+class NoiseModel(Protocol):
+    """Anything that perturbs an array of bit-line values."""
+
+    def apply(self, values: np.ndarray) -> np.ndarray:
+        ...  # pragma: no cover - protocol definition
+
+
+@dataclasses.dataclass
+class NoNoise:
+    """The default, ideal front end."""
+
+    def apply(self, values: np.ndarray) -> np.ndarray:
+        return values
+
+
+class GaussianReadNoise:
+    """Additive Gaussian noise on bit-line values (in level units).
+
+    ``sigma_levels`` is the standard deviation expressed in full-precision
+    LSBs; 0.5 roughly corresponds to thermal/readout noise of half an LSB.
+    """
+
+    def __init__(self, sigma_levels: float, seed: SeedLike = None) -> None:
+        check_in_range(sigma_levels, "sigma_levels", low=0.0)
+        self.sigma_levels = float(sigma_levels)
+        self._rng = new_rng(seed)
+
+    def apply(self, values: np.ndarray) -> np.ndarray:
+        if self.sigma_levels == 0.0:
+            return values
+        noise = self._rng.normal(0.0, self.sigma_levels, size=values.shape)
+        # Bit-line values are physically non-negative.
+        return np.maximum(values + noise, 0.0)
+
+
+class ProportionalConductanceNoise:
+    """Multiplicative noise modelling cell-conductance variation.
+
+    Each bit-line value is scaled by ``1 + ε`` with ``ε ~ N(0, sigma)``; this
+    approximates the aggregate effect of per-cell programming variation on
+    the summed current without simulating each cell.
+    """
+
+    def __init__(self, sigma: float, seed: SeedLike = None) -> None:
+        check_in_range(sigma, "sigma", low=0.0)
+        self.sigma = float(sigma)
+        self._rng = new_rng(seed)
+
+    def apply(self, values: np.ndarray) -> np.ndarray:
+        if self.sigma == 0.0:
+            return values
+        factor = 1.0 + self._rng.normal(0.0, self.sigma, size=values.shape)
+        return np.maximum(values * factor, 0.0)

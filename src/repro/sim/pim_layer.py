@@ -1,0 +1,262 @@
+"""PIM compute backend: executes Conv2d/Linear layers on the crossbar + ADC
+models instead of the NumPy fast path.
+
+The backend implements the :class:`repro.nn.layers.ComputeBackend` protocol,
+so attaching it to a model's MVM layers (``layer.compute_backend = backend``)
+re-routes inference through the full bit-sliced datapath:
+
+    quantize inputs → im2col → temporal input slicing → per-segment bit-line
+    partial sums → ADC conversion (uniform / twin-range / ideal) →
+    shift-and-add merge → dequantize → bias add
+
+while accumulating per-layer conversion statistics and, optionally, feeding a
+:class:`repro.sim.capture.DistributionCollector` with the raw bit-line values.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.adc.config import AdcConfig
+from repro.adc.trq import build_adc
+from repro.crossbar.mapping import DEFAULT_TOPOLOGY, CrossbarTopology, MappedMVMLayer
+from repro.nn import functional as F
+from repro.nn.layers import Conv2d, Linear
+from repro.quantization.ptq import QuantizedModel, find_mvm_layers
+from repro.sim.capture import DistributionCollector
+from repro.sim.fidelity import NoiseModel, NoNoise
+from repro.sim.stats import LayerSimStats
+from repro.utils.validation import check_in_range, check_integer
+
+
+class _IdealAdc:
+    """Pass-through converter used when a layer has no ADC configuration.
+
+    It keeps the values untouched and charges the full-resolution baseline
+    operation count, so ideal runs still produce meaningful Eq. 3 statistics.
+    """
+
+    def __init__(self, baseline_ops: int) -> None:
+        self.baseline_ops = int(baseline_ops)
+
+    def convert(self, values: np.ndarray) -> Tuple[np.ndarray, int]:
+        return values, values.size * self.baseline_ops
+
+    def reset_stats(self) -> None:  # pragma: no cover - nothing to reset
+        pass
+
+
+class _NoisyAdcWrapper:
+    """Applies an analog noise model to bit-line values before conversion."""
+
+    def __init__(self, adc, noise: NoiseModel) -> None:
+        self._adc = adc
+        self._noise = noise
+
+    @property
+    def stats(self):
+        return getattr(self._adc, "stats", None)
+
+    def convert(self, values: np.ndarray) -> Tuple[np.ndarray, int]:
+        return self._adc.convert(self._noise.apply(values))
+
+    def reset_stats(self) -> None:
+        reset = getattr(self._adc, "reset_stats", None)
+        if reset is not None:
+            reset()
+
+
+class PimBackend:
+    """Crossbar + ADC execution backend for the MVM layers of one model.
+
+    Parameters
+    ----------
+    quantized:
+        PTQ artefacts of the model (integer weights, input/weight scales).
+    topology:
+        Crossbar geometry (128×128, 1-bit cells, 1-bit DAC by default).
+    adc_configs:
+        Per-layer ADC configuration.  Layers missing from the mapping (or the
+        whole argument being ``None``) are converted *ideally*: the partial
+        sums pass through unquantized and the operation count assumes the
+        full-resolution baseline.
+    chunk_size:
+        Number of MVMs (output positions) processed per inner batch; bounds
+        peak memory for large feature maps.
+    collector:
+        Optional bit-line value collector (paper Fig. 3a / calibration).
+    noise:
+        Optional analog noise model applied to bit-line values before the ADC.
+    """
+
+    def __init__(
+        self,
+        quantized: QuantizedModel,
+        topology: CrossbarTopology = DEFAULT_TOPOLOGY,
+        adc_configs: Optional[Dict[str, AdcConfig]] = None,
+        chunk_size: int = 4096,
+        collector: Optional[DistributionCollector] = None,
+        noise: Optional[NoiseModel] = None,
+    ) -> None:
+        check_in_range(check_integer(chunk_size, "chunk_size"), "chunk_size", low=1)
+        self.quantized = quantized
+        self.topology = topology
+        self.chunk_size = int(chunk_size)
+        self.collector = collector
+        self.noise = noise if noise is not None else NoNoise()
+        self._adc_configs = dict(adc_configs) if adc_configs else {}
+
+        self._layer_names: Dict[int, str] = {
+            id(layer): name for name, layer in find_mvm_layers(quantized.model)
+        }
+        self._mapped: Dict[str, MappedMVMLayer] = {}
+        self._adcs: Dict[str, object] = {}
+        self.layer_stats: Dict[str, LayerSimStats] = {}
+
+    # ------------------------------------------------------------------ #
+    # plumbing
+    # ------------------------------------------------------------------ #
+    def _layer_name(self, layer) -> str:
+        name = self._layer_names.get(id(layer))
+        if name is None:
+            raise KeyError(
+                "layer is not part of the quantized model this backend was built from"
+            )
+        return name
+
+    def _mapped_layer(self, name: str, kind: str) -> MappedMVMLayer:
+        if name not in self._mapped:
+            lq = self.quantized.layer(name)
+            if kind == "conv":
+                out_channels = lq.weight_codes.shape[0]
+                weight_matrix = lq.weight_codes.reshape(out_channels, -1).T
+            else:
+                weight_matrix = lq.weight_codes.T
+            self._mapped[name] = MappedMVMLayer(
+                weight_matrix, self.quantized.config, self.topology
+            )
+        return self._mapped[name]
+
+    def _adc_for(self, name: str):
+        if name in self._adcs:
+            return self._adcs[name]
+        config = self._adc_configs.get(name)
+        inject_noise = not isinstance(self.noise, NoNoise)
+        if config is not None:
+            adc = build_adc(config)
+        elif inject_noise:
+            adc = _IdealAdc(self.topology.ideal_adc_resolution)
+        else:
+            adc = None
+        if adc is not None and inject_noise:
+            adc = _NoisyAdcWrapper(adc, self.noise)
+        self._adcs[name] = adc
+        return adc
+
+    def _stats_for(self, name: str, kind: str, mapped: MappedMVMLayer) -> LayerSimStats:
+        if name not in self.layer_stats:
+            footprint = mapped.footprint()
+            self.layer_stats[name] = LayerSimStats(
+                name=name,
+                kind=kind,
+                crossbar_pairs=footprint.num_crossbar_pairs,
+                conversions_per_mvm=footprint.conversions_per_mvm,
+            )
+        return self.layer_stats[name]
+
+    # ------------------------------------------------------------------ #
+    # core execution
+    # ------------------------------------------------------------------ #
+    def _execute(self, name: str, kind: str, x_rows: np.ndarray) -> np.ndarray:
+        """Run ``x_rows`` (MVM input vectors, one per row) through the datapath."""
+        lq = self.quantized.layer(name)
+        if lq.input_params.signed:
+            raise NotImplementedError(
+                f"layer '{name}' has signed inputs; the differential crossbar "
+                "mapping implemented here expects non-negative MVM inputs "
+                "(images or post-ReLU activations)"
+            )
+        mapped = self._mapped_layer(name, kind)
+        adc = self._adc_for(name)
+        stats = self._stats_for(name, kind, mapped)
+        if self.collector is not None:
+            self.collector.set_layer(name)
+
+        input_codes = lq.input_params.quantize(x_rows)
+        rows = input_codes.shape[0]
+        outputs = np.empty((rows, mapped.out_features), dtype=np.float64)
+
+        # The collector records the ideal (noise-free) bit-line values the
+        # crossbar produces; noise, when enabled, is applied inside the ADC
+        # wrapper so only the conversion sees it.
+        observer = self.collector
+        baseline_ops = self.topology.ideal_adc_resolution
+
+        prev_r1, prev_r2 = self._region_counters(adc)
+        for start in range(0, rows, self.chunk_size):
+            chunk = input_codes[start : start + self.chunk_size]
+            merged, ops = mapped.matmul(chunk, adc=adc, partial_observer=observer)
+            outputs[start : start + chunk.shape[0]] = merged
+            conversions = chunk.shape[0] * mapped.footprint().conversions_per_mvm
+            stats.mvm_count += chunk.shape[0]
+            stats.conversions += conversions
+            stats.operations += int(ops) if adc is not None else conversions * baseline_ops
+        new_r1, new_r2 = self._region_counters(adc)
+        stats.in_r1 += new_r1 - prev_r1
+        stats.in_r2 += new_r2 - prev_r2
+
+        return outputs * lq.output_scale
+
+    @staticmethod
+    def _region_counters(adc) -> Tuple[int, int]:
+        stats = getattr(adc, "stats", None)
+        if stats is None:
+            return 0, 0
+        return stats.in_r1, stats.in_r2
+
+    # ------------------------------------------------------------------ #
+    # ComputeBackend protocol
+    # ------------------------------------------------------------------ #
+    def conv2d(
+        self,
+        layer: Conv2d,
+        x: np.ndarray,
+        weight: np.ndarray,
+        bias: Optional[np.ndarray],
+        stride: Tuple[int, int],
+        padding: Tuple[int, int],
+    ) -> np.ndarray:
+        name = self._layer_name(layer)
+        cols, (oh, ow) = F.im2col(x, layer.kernel_size, stride, padding)
+        out = self._execute(name, "conv", cols)
+        if bias is not None:
+            out = out + bias
+        n = x.shape[0]
+        return out.reshape(n, oh, ow, -1).transpose(0, 3, 1, 2)
+
+    def linear(
+        self,
+        layer: Linear,
+        x: np.ndarray,
+        weight: np.ndarray,
+        bias: Optional[np.ndarray],
+    ) -> np.ndarray:
+        name = self._layer_name(layer)
+        out = self._execute(name, "linear", x)
+        if bias is not None:
+            out = out + bias
+        return out
+
+    # ------------------------------------------------------------------ #
+    def reset_stats(self) -> None:
+        """Clear all accumulated per-layer statistics."""
+        self.layer_stats.clear()
+        for adc in self._adcs.values():
+            if adc is not None:
+                adc.reset_stats()
+
+    def mapping_footprints(self) -> Dict[str, object]:
+        """Resource footprint of every layer mapped so far."""
+        return {name: mapped.footprint() for name, mapped in self._mapped.items()}

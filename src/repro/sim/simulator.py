@@ -1,0 +1,166 @@
+"""End-to-end PIM simulator.
+
+:class:`PimSimulator` evaluates a quantized model on the crossbar + ADC
+datapath, producing the quantities the paper's evaluation reports: inference
+accuracy under a given per-layer ADC configuration, total and per-layer A/D
+operation counts (Fig. 6c), and the bit-line value distributions used by the
+calibration search (Fig. 3a).  It plays the role DNN+NeuroSim plays in the
+paper's experimental setup.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.adc.config import AdcConfig
+from repro.crossbar.mapping import DEFAULT_TOPOLOGY, CrossbarTopology
+from repro.nn.metrics import top1_accuracy
+from repro.quantization.ptq import QuantizedModel, find_mvm_layers
+from repro.sim.capture import DistributionCollector
+from repro.sim.fidelity import NoiseModel
+from repro.sim.pim_layer import PimBackend
+from repro.sim.stats import LayerSimStats, SimulationResult
+from repro.utils.logging import get_logger
+from repro.utils.validation import check_in_range, check_integer
+
+logger = get_logger("sim.simulator")
+
+
+class PimSimulator:
+    """Simulate inference of a PTQ-quantized model on the ReRAM accelerator.
+
+    Parameters
+    ----------
+    quantized:
+        Output of :func:`repro.quantization.quantize_model`.
+    topology:
+        Crossbar geometry (defaults to the paper's 128×128 / 1-bit setup).
+    chunk_size:
+        MVMs per inner batch inside the backend (memory knob).
+    """
+
+    def __init__(
+        self,
+        quantized: QuantizedModel,
+        topology: CrossbarTopology = DEFAULT_TOPOLOGY,
+        chunk_size: int = 4096,
+    ) -> None:
+        self.quantized = quantized
+        self.topology = topology
+        self.chunk_size = int(chunk_size)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def baseline_ops_per_conversion(self) -> int:
+        """A/D operations per conversion of the full-resolution baseline."""
+        return self.topology.ideal_adc_resolution
+
+    def layer_names(self) -> list:
+        """Names of the MVM layers in forward order."""
+        return [name for name, _ in find_mvm_layers(self.quantized.model)]
+
+    # ------------------------------------------------------------------ #
+    def _run_backend(
+        self,
+        images: np.ndarray,
+        labels: Optional[np.ndarray],
+        adc_configs: Optional[Dict[str, AdcConfig]],
+        batch_size: int,
+        collector: Optional[DistributionCollector],
+        noise: Optional[NoiseModel],
+    ) -> SimulationResult:
+        check_in_range(check_integer(batch_size, "batch_size"), "batch_size", low=1)
+        model = self.quantized.model
+        backend = PimBackend(
+            self.quantized,
+            topology=self.topology,
+            adc_configs=adc_configs,
+            chunk_size=self.chunk_size,
+            collector=collector,
+            noise=noise,
+        )
+        mvm_layers = find_mvm_layers(model)
+        model.eval()
+        for _, layer in mvm_layers:
+            layer.compute_backend = backend
+        try:
+            logits_batches = []
+            for start in range(0, images.shape[0], batch_size):
+                logits_batches.append(model(images[start : start + batch_size]))
+            logits = np.concatenate(logits_batches, axis=0)
+        finally:
+            for _, layer in mvm_layers:
+                layer.compute_backend = None
+
+        accuracy = top1_accuracy(logits, labels) if labels is not None else float("nan")
+        return SimulationResult(
+            accuracy=accuracy,
+            num_images=int(images.shape[0]),
+            layer_stats={k: copy.deepcopy(v) for k, v in backend.layer_stats.items()},
+            baseline_ops_per_conversion=self.baseline_ops_per_conversion,
+            logits=logits,
+            labels=None if labels is None else np.asarray(labels),
+        )
+
+    # ------------------------------------------------------------------ #
+    def evaluate(
+        self,
+        images: np.ndarray,
+        labels: np.ndarray,
+        adc_configs: Optional[Dict[str, AdcConfig]] = None,
+        batch_size: int = 16,
+        noise: Optional[NoiseModel] = None,
+    ) -> SimulationResult:
+        """Run inference with the given per-layer ADC configuration.
+
+        ``adc_configs=None`` gives the ideal-conversion reference (no ADC
+        quantization error, baseline operation counts).
+        """
+        return self._run_backend(images, labels, adc_configs, batch_size, None, noise)
+
+    def collect_bitline_distributions(
+        self,
+        images: np.ndarray,
+        batch_size: int = 8,
+        capacity_per_layer: int = 100_000,
+        seed: int = 0,
+    ) -> Dict[str, np.ndarray]:
+        """Gather per-layer bit-line value samples with ideal conversion.
+
+        This is the data behind paper Fig. 3a and the input to Algorithm 1.
+        """
+        collector = DistributionCollector(capacity_per_layer=capacity_per_layer, seed=seed)
+        self._run_backend(images, None, None, batch_size, collector, None)
+        return collector.all_samples()
+
+    def accuracy_evaluator(
+        self,
+        images: np.ndarray,
+        labels: np.ndarray,
+        batch_size: int = 16,
+    ) -> Callable[[Optional[Dict[str, AdcConfig]]], float]:
+        """A closure mapping per-layer ADC configs to end-to-end accuracy.
+
+        This is the ``Acc'`` oracle of Algorithm 1's outer loop; the
+        calibration search calls it once per candidate ``Nmax``.
+        """
+
+        def evaluate(adc_configs: Optional[Dict[str, AdcConfig]]) -> float:
+            result = self.evaluate(images, labels, adc_configs, batch_size=batch_size)
+            return result.accuracy
+
+        return evaluate
+
+    # ------------------------------------------------------------------ #
+    def mapping_summary(self) -> Dict[str, object]:
+        """Per-layer crossbar footprints (used by the architecture model)."""
+        backend = PimBackend(self.quantized, topology=self.topology, chunk_size=self.chunk_size)
+        footprints = {}
+        for name, layer in find_mvm_layers(self.quantized.model):
+            lq = self.quantized.layer(name)
+            kind = lq.kind
+            footprints[name] = backend._mapped_layer(name, kind).footprint()
+        return footprints

@@ -1,0 +1,100 @@
+"""Result containers of the PIM simulation."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.adc.counters import ConversionStats
+
+
+@dataclasses.dataclass
+class LayerSimStats:
+    """Per-layer accounting of one simulation run."""
+
+    name: str
+    kind: str
+    mvm_count: int = 0
+    conversions: int = 0
+    operations: int = 0
+    in_r1: int = 0
+    in_r2: int = 0
+    crossbar_pairs: int = 0
+    conversions_per_mvm: int = 0
+
+    @property
+    def mean_ops_per_conversion(self) -> float:
+        return self.operations / self.conversions if self.conversions else 0.0
+
+    def remaining_fraction(self, baseline_ops_per_conversion: int) -> float:
+        """Fraction of A/D operations relative to the full-resolution baseline."""
+        if self.conversions == 0:
+            return 0.0
+        return self.operations / (self.conversions * baseline_ops_per_conversion)
+
+    def merge_conversion_stats(self, stats: ConversionStats) -> None:
+        self.conversions += stats.conversions
+        self.operations += stats.operations
+        self.in_r1 += stats.in_r1
+        self.in_r2 += stats.in_r2
+
+
+@dataclasses.dataclass
+class SimulationResult:
+    """Outcome of evaluating a model on the PIM datapath."""
+
+    accuracy: float
+    num_images: int
+    layer_stats: Dict[str, LayerSimStats]
+    baseline_ops_per_conversion: int
+    logits: Optional[np.ndarray] = None
+    labels: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def total_conversions(self) -> int:
+        return sum(s.conversions for s in self.layer_stats.values())
+
+    @property
+    def total_operations(self) -> int:
+        return sum(s.operations for s in self.layer_stats.values())
+
+    @property
+    def mean_ops_per_conversion(self) -> float:
+        conversions = self.total_conversions
+        return self.total_operations / conversions if conversions else 0.0
+
+    @property
+    def remaining_ops_fraction(self) -> float:
+        """Paper Fig. 6c metric: remaining A/D operations vs. the baseline."""
+        conversions = self.total_conversions
+        if conversions == 0:
+            return 0.0
+        baseline = conversions * self.baseline_ops_per_conversion
+        return self.total_operations / baseline
+
+    @property
+    def ops_reduction_factor(self) -> float:
+        """Paper abstract metric: baseline/TRQ A/D-operation ratio (1.6-2.3×)."""
+        remaining = self.remaining_ops_fraction
+        return 1.0 / remaining if remaining > 0 else float("inf")
+
+    def per_layer_remaining_fraction(self) -> Dict[str, float]:
+        return {
+            name: stats.remaining_fraction(self.baseline_ops_per_conversion)
+            for name, stats in self.layer_stats.items()
+        }
+
+    def summary(self) -> Dict[str, float]:
+        """Flat dictionary convenient for tabulation and JSON export."""
+        return {
+            "accuracy": self.accuracy,
+            "num_images": float(self.num_images),
+            "total_conversions": float(self.total_conversions),
+            "total_operations": float(self.total_operations),
+            "mean_ops_per_conversion": self.mean_ops_per_conversion,
+            "remaining_ops_fraction": self.remaining_ops_fraction,
+            "ops_reduction_factor": self.ops_reduction_factor,
+        }

@@ -1,0 +1,81 @@
+"""Configuration (de)serialisation helpers.
+
+Experiment artefacts — per-layer ADC configurations found by the co-design
+search, architecture parameters, dataset specs — are plain dataclasses.  The
+helpers here convert them to and from JSON so that a calibration result can be
+saved, inspected and replayed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Dict, Type, TypeVar, Union
+
+import numpy as np
+
+T = TypeVar("T")
+PathLike = Union[str, Path]
+
+
+def _jsonable(value: Any) -> Any:
+    """Convert numpy scalars/arrays and dataclasses to JSON-friendly values."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return asdict_recursive(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+def asdict_recursive(obj: Any) -> Dict[str, Any]:
+    """Like :func:`dataclasses.asdict` but numpy-aware."""
+    if not dataclasses.is_dataclass(obj) or isinstance(obj, type):
+        raise TypeError(f"expected a dataclass instance, got {type(obj)!r}")
+    return {
+        field.name: _jsonable(getattr(obj, field.name))
+        for field in dataclasses.fields(obj)
+    }
+
+
+def config_to_json(obj: Any, indent: int = 2) -> str:
+    """Serialise a dataclass (or plain dict) to a JSON string."""
+    payload = asdict_recursive(obj) if dataclasses.is_dataclass(obj) else _jsonable(obj)
+    return json.dumps(payload, indent=indent, sort_keys=True)
+
+
+def config_from_json(cls: Type[T], text: str) -> T:
+    """Instantiate dataclass ``cls`` from a JSON string produced by
+    :func:`config_to_json`.  Unknown keys raise ``TypeError`` so that stale
+    configuration files are detected instead of silently ignored."""
+    data = json.loads(text)
+    if not isinstance(data, dict):
+        raise TypeError(f"expected a JSON object for {cls.__name__}, got {type(data)!r}")
+    field_names = {f.name for f in dataclasses.fields(cls)}
+    unknown = set(data) - field_names
+    if unknown:
+        raise TypeError(f"unknown fields for {cls.__name__}: {sorted(unknown)}")
+    return cls(**data)
+
+
+def save_json(obj: Any, path: PathLike) -> Path:
+    """Write ``obj`` (dataclass or dict) to ``path`` as JSON; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(config_to_json(obj))
+    return path
+
+
+def load_json(path: PathLike) -> Any:
+    """Load a JSON file written by :func:`save_json`."""
+    return json.loads(Path(path).read_text())

@@ -1,0 +1,44 @@
+"""Thin logging wrapper so the whole library shares one logger hierarchy.
+
+Long-running calibration searches and simulations emit progress through these
+loggers; tests and benchmarks keep them quiet by default.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Optional
+
+_ROOT_NAME = "repro"
+_configured = False
+
+
+def _ensure_configured() -> None:
+    global _configured
+    if _configured:
+        return
+    logger = logging.getLogger(_ROOT_NAME)
+    if not logger.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("[%(levelname)s] %(name)s: %(message)s")
+        )
+        logger.addHandler(handler)
+    logger.setLevel(logging.WARNING)
+    _configured = True
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """Return a library logger, e.g. ``get_logger("core.calibration")``."""
+    _ensure_configured()
+    if name is None:
+        return logging.getLogger(_ROOT_NAME)
+    if name.startswith(_ROOT_NAME):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def set_verbosity(level: int) -> None:
+    """Set the verbosity of all library loggers (``logging`` level constants)."""
+    _ensure_configured()
+    logging.getLogger(_ROOT_NAME).setLevel(level)

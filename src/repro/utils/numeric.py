@@ -1,0 +1,43 @@
+"""Numeric helpers shared by the quantization and ADC models.
+
+The single important convention lives here: **rounding is half-up** (towards
++infinity at exact midpoints), because that is what a SAR ADC's comparator
+grid implements — the code chosen for an input exactly on a decision
+threshold is the upper one.  NumPy's ``np.round`` uses banker's rounding
+(half-to-even), which would make the vectorised quantizer models disagree
+with the cycle-accurate SAR search on exact grid midpoints; every rounding in
+the datapath therefore goes through :func:`round_half_up`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def round_half_up(x: np.ndarray) -> np.ndarray:
+    """Round to the nearest integer, with exact halves rounded up (+inf)."""
+    return np.floor(np.asarray(x, dtype=np.float64) + 0.5)
+
+
+def clamp(x: np.ndarray, low: float, high: float) -> np.ndarray:
+    """Clamp values into ``[low, high]`` (thin wrapper for readability)."""
+    return np.clip(x, low, high)
+
+
+def is_power_of_two(value: int) -> bool:
+    """True for 1, 2, 4, 8, ... — False for zero, negatives and non-powers."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def ceil_log2(value: int) -> int:
+    """Smallest ``k`` with ``2^k >= value`` (``value`` must be positive)."""
+    if value <= 0:
+        raise ValueError(f"value must be positive, got {value}")
+    return int(np.ceil(np.log2(value))) if value > 1 else 0
+
+
+def ceil_div(numerator: int, denominator: int) -> int:
+    """Integer ceiling division."""
+    if denominator <= 0:
+        raise ValueError(f"denominator must be positive, got {denominator}")
+    return -(-int(numerator) // int(denominator))

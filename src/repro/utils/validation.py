@@ -1,0 +1,72 @@
+"""Small argument-validation helpers shared across the library.
+
+Hardware-model code has many integer parameters with tight legal ranges
+(resolutions, bit-widths, crossbar sizes).  Validating them eagerly with
+informative error messages turns silent mis-configuration into loud failures,
+which matters a lot when sweeping hundreds of search candidates.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+Number = Union[int, float]
+
+
+def check_integer(value, name: str) -> int:
+    """Return ``value`` as ``int`` if it is integral, else raise ``TypeError``."""
+    if isinstance(value, bool):
+        raise TypeError(f"{name} must be an integer, got bool")
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float) and value.is_integer():
+        return int(value)
+    try:
+        import numpy as np
+
+        if isinstance(value, np.integer):
+            return int(value)
+    except ImportError:  # pragma: no cover - numpy is a hard dependency
+        pass
+    raise TypeError(f"{name} must be an integer, got {value!r}")
+
+
+def check_positive(value: Number, name: str, strict: bool = True) -> Number:
+    """Validate that ``value`` is positive (strictly by default)."""
+    if strict and not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+    if not strict and not value >= 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def check_in_range(
+    value: Number,
+    name: str,
+    low: Optional[Number] = None,
+    high: Optional[Number] = None,
+    inclusive: bool = True,
+) -> Number:
+    """Validate ``low <= value <= high`` (or strict inequalities)."""
+    if low is not None:
+        ok = value >= low if inclusive else value > low
+        if not ok:
+            raise ValueError(f"{name} must be {'>=' if inclusive else '>'} {low}, got {value}")
+    if high is not None:
+        ok = value <= high if inclusive else value < high
+        if not ok:
+            raise ValueError(f"{name} must be {'<=' if inclusive else '<'} {high}, got {value}")
+    return value
+
+
+def check_probability(value: Number, name: str) -> Number:
+    """Validate that ``value`` lies in ``[0, 1]``."""
+    return check_in_range(value, name, low=0.0, high=1.0)
+
+
+def check_power_of_two(value: int, name: str) -> int:
+    """Validate that ``value`` is a positive power of two (1, 2, 4, ...)."""
+    value = check_integer(value, name)
+    if value <= 0 or (value & (value - 1)) != 0:
+        raise ValueError(f"{name} must be a positive power of two, got {value}")
+    return value

@@ -1,0 +1,191 @@
+"""Ready-made workload preparation shared by examples, tests and benchmarks.
+
+The paper's evaluation needs, for every workload, a *trained* model, a
+calibration set, a PTQ-quantized model and a simulator.  This module bundles
+those steps behind :func:`prepare_workload`, with an optional on-disk cache
+for the trained weights so repeated benchmark runs skip the (NumPy) training.
+
+Training budgets per preset are deliberately small; the goal is a model well
+above chance accuracy (so ADC-induced degradation is measurable), not state
+of the art.  See DESIGN.md for the dataset substitution rationale.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.datasets import DataLoader, SyntheticImageDataset, build_dataset, sample_calibration_set
+from repro.datasets.synthetic import DatasetSplit
+from repro.nn import Adam, Trainer
+from repro.nn.models import build_model, workload_info
+from repro.nn.module import Module
+from repro.quantization import QuantizedModel, quantize_model
+from repro.sim import PimSimulator
+from repro.utils.logging import get_logger
+from repro.utils.rng import derive_seed
+
+logger = get_logger("workloads")
+
+#: Default training budget (epochs) per preset; tuned so each workload trains
+#: in seconds-to-a-minute on a laptop CPU while clearly exceeding chance.
+_EPOCHS_BY_PRESET = {"tiny": 20, "small": 25, "paper": 30}
+
+
+@dataclasses.dataclass
+class PreparedWorkload:
+    """Everything needed to run the paper's experiments on one workload."""
+
+    name: str
+    preset: str
+    model: Module
+    dataset: SyntheticImageDataset
+    calibration: DatasetSplit
+    quantized: QuantizedModel
+    simulator: PimSimulator
+    float_accuracy: float
+
+    def eval_split(self, num_images: Optional[int] = None) -> DatasetSplit:
+        """Test images used for accuracy evaluation (optionally truncated)."""
+        if num_images is None or num_images >= len(self.dataset.test):
+            return self.dataset.test
+        return self.dataset.test.subset(np.arange(num_images))
+
+
+def _cache_path(cache_dir: Path, name: str, preset: str, train_size: int, epochs: int, seed: int) -> Path:
+    return cache_dir / f"{name}_{preset}_n{train_size}_e{epochs}_s{seed}.npz"
+
+
+def _save_state(model: Module, path: Path) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **model.state_dict())
+
+
+def _load_state(model: Module, path: Path) -> bool:
+    if not path.exists():
+        return False
+    try:
+        with np.load(path) as data:
+            model.load_state_dict({key: data[key] for key in data.files})
+        return True
+    except (KeyError, ValueError, OSError) as error:
+        logger.warning("ignoring incompatible cache %s (%s)", path, error)
+        return False
+
+
+def train_workload_model(
+    name: str,
+    dataset: SyntheticImageDataset,
+    preset: str = "tiny",
+    epochs: Optional[int] = None,
+    learning_rate: float = 3e-3,
+    batch_size: int = 32,
+    seed: int = 0,
+) -> Module:
+    """Train one of the paper's model topologies on a synthetic dataset."""
+    model = build_model(name, preset=preset, num_classes=dataset.num_classes, rng=seed)
+    epochs = epochs if epochs is not None else _EPOCHS_BY_PRESET.get(preset, 20)
+    trainer = Trainer(model, Adam(model.parameters(), lr=learning_rate))
+    trainer.fit(
+        lambda: DataLoader(
+            dataset.train, batch_size, shuffle=True, seed=derive_seed(seed, "loader")
+        ),
+        epochs=epochs,
+    )
+    model.eval()
+    return model
+
+
+def prepare_workload(
+    name: str,
+    preset: str = "tiny",
+    train_size: int = 384,
+    test_size: int = 128,
+    calibration_images: int = 32,
+    epochs: Optional[int] = None,
+    seed: int = 0,
+    cache_dir: Optional[str] = None,
+    chunk_size: int = 4096,
+) -> PreparedWorkload:
+    """Build the full evaluation stack for one paper workload.
+
+    Parameters
+    ----------
+    name:
+        ``lenet5``, ``resnet20``, ``resnet18`` or ``squeezenet1_1``.
+    preset:
+        Structural scale (``tiny``/``small``/``paper``) — see the model
+        registry.
+    calibration_images:
+        Size of the calibration set (32 in the paper).
+    cache_dir:
+        When given, trained weights are cached there keyed by the training
+        configuration, so repeated runs skip training.
+    """
+    info = workload_info(name)
+    dataset = build_dataset(
+        info["dataset"],
+        train_size=train_size,
+        test_size=test_size,
+        seed=derive_seed(seed, "dataset", name),
+    )
+    epochs_resolved = epochs if epochs is not None else _EPOCHS_BY_PRESET.get(preset, 20)
+
+    model = build_model(name, preset=preset, num_classes=dataset.num_classes, rng=seed)
+    loaded = False
+    cache_file: Optional[Path] = None
+    if cache_dir is not None:
+        cache_file = _cache_path(Path(cache_dir), name, preset, train_size, epochs_resolved, seed)
+        loaded = _load_state(model, cache_file)
+    if not loaded:
+        model = train_workload_model(
+            name, dataset, preset=preset, epochs=epochs_resolved, seed=seed
+        )
+        if cache_file is not None:
+            _save_state(model, cache_file)
+    model.eval()
+
+    trainer = Trainer(model, Adam(model.parameters(), lr=1e-3))
+    float_accuracy = trainer.evaluate(DataLoader(dataset.test, 64))["accuracy"]
+
+    calibration = sample_calibration_set(
+        dataset.train, num_images=calibration_images, seed=derive_seed(seed, "calib")
+    )
+    quantized = quantize_model(model, calibration.images)
+    simulator = PimSimulator(quantized, chunk_size=chunk_size)
+    return PreparedWorkload(
+        name=name,
+        preset=preset,
+        model=model,
+        dataset=dataset,
+        calibration=calibration,
+        quantized=quantized,
+        simulator=simulator,
+        float_accuracy=float_accuracy,
+    )
+
+
+def prepare_all_workloads(
+    preset: str = "tiny",
+    train_size: int = 384,
+    test_size: int = 128,
+    seed: int = 0,
+    cache_dir: Optional[str] = None,
+    names: Optional[list] = None,
+) -> Dict[str, PreparedWorkload]:
+    """Prepare every workload of the paper's evaluation (Section V-A)."""
+    names = names or ["lenet5", "resnet20", "resnet18", "squeezenet1_1"]
+    return {
+        name: prepare_workload(
+            name,
+            preset=preset,
+            train_size=train_size,
+            test_size=test_size,
+            seed=seed,
+            cache_dir=cache_dir,
+        )
+        for name in names
+    }

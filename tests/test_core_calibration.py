@@ -1,0 +1,214 @@
+"""Tests for the objectives, search space and Algorithm 1 calibration search."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DEFAULT_SEARCH_SPACE,
+    DistributionType,
+    LayerAdcSetting,
+    SearchSpaceConfig,
+    TRQParams,
+    TwinRangeCalibrator,
+    candidate_params,
+    evaluate_trq_candidate,
+    evaluate_uniform_candidate,
+    select_candidate,
+    settings_to_adc_configs,
+    summarize_distribution,
+    trq_energy_ops,
+    trq_mse,
+    uniform_adc_configs,
+    uniform_fallback_bits,
+    v_grid_candidates,
+)
+from repro.adc import AdcMode
+
+
+# --------------------------------------------------------------------- #
+# objectives (Eq. 9 / Eq. 10)
+# --------------------------------------------------------------------- #
+class TestObjectives:
+    def test_energy_counts_detection_and_regions(self):
+        params = TRQParams(n_r1=2, n_r2=6, m=2, delta_r1=1.0, bias=0)
+        values = np.array([0.0, 1.0, 2.0, 100.0])
+        # 4 detections + 3 samples in R1 (2 ops each) + 1 in R2 (6 ops).
+        assert trq_energy_ops(values, params) == 4 + 6 + 6
+        assert trq_energy_ops(np.array([]), params) == 0.0
+
+    def test_mse_zero_on_grid(self):
+        params = TRQParams(n_r1=3, n_r2=3, m=0, delta_r1=1.0)
+        values = np.arange(8, dtype=np.float64)
+        assert trq_mse(values, params) == 0.0
+
+    def test_candidate_evaluations(self, skewed_samples):
+        params = TRQParams(n_r1=3, n_r2=7, m=4, delta_r1=1.0)
+        trq_eval = evaluate_trq_candidate(skewed_samples, params)
+        assert 0.0 < trq_eval.r1_fraction < 1.0
+        assert trq_eval.mean_ops_per_conversion < 8.0
+        uniform_eval = evaluate_uniform_candidate(skewed_samples, 7, 1.0)
+        assert uniform_eval.is_uniform and uniform_eval.mean_ops_per_conversion == 7.0
+
+    def test_select_candidate_prefers_lower_energy_within_tolerance(self, skewed_samples):
+        trq_eval = evaluate_trq_candidate(
+            skewed_samples, TRQParams(n_r1=3, n_r2=7, m=4, delta_r1=1.0)
+        )
+        uniform_eval = evaluate_uniform_candidate(skewed_samples, 7, 1.0)
+        mse_scale = float(np.mean(skewed_samples**2))
+        chosen = select_candidate(trq_eval, uniform_eval, mse_tolerance=0.1, mse_scale=mse_scale)
+        assert chosen is trq_eval  # fewer ops, error small relative to the data scale
+
+    def test_select_candidate_falls_back_on_mse(self):
+        good_mse = evaluate_uniform_candidate(np.arange(16.0), 4, 1.0)  # exact
+        bad_trq = evaluate_trq_candidate(
+            np.arange(16.0), TRQParams(n_r1=1, n_r2=1, m=3, delta_r1=1.0)
+        )
+        chosen = select_candidate(bad_trq, good_mse, mse_tolerance=0.05)
+        assert chosen is good_mse
+        with pytest.raises(ValueError):
+            select_candidate(bad_trq, good_mse, mse_tolerance=-1)
+
+
+# --------------------------------------------------------------------- #
+# search space
+# --------------------------------------------------------------------- #
+class TestSearchSpace:
+    def test_v_grid_candidates_span_alpha_beta(self):
+        space = SearchSpaceConfig(num_v_grid_candidates=5)
+        grids = v_grid_candidates(255.0, space)
+        assert len(grids) == 5
+        assert grids[0] == pytest.approx(0.1 * 255 / 255)
+        assert grids[-1] == pytest.approx(1.2 * 255 / 255)
+        assert np.all(np.diff(grids) > 0)
+        np.testing.assert_array_equal(v_grid_candidates(0.0, space), [1.0])
+
+    def test_search_space_validation(self):
+        with pytest.raises(ValueError):
+            SearchSpaceConfig(alpha=1.5, beta=1.0)
+        with pytest.raises(ValueError):
+            SearchSpaceConfig(m_min=3, m_max=1)
+
+    def test_candidates_ideal_distribution_use_eq11_structure(self, skewed_samples):
+        summary = summarize_distribution(skewed_samples)
+        assert summary.kind is DistributionType.IDEAL
+        candidates = list(candidate_params(summary, skewed_samples, 1.0, n_max=6))
+        assert candidates
+        # Ideal case: bias fixed to zero, one NR1 value per candidate, shared M.
+        assert all(c.bias == 0 for c in candidates)
+        assert all(c.delta_r1 == 1.0 for c in candidates)
+        assert len({c.n_r1 for c in candidates}) == len(candidates)
+        # Hardware constraint M <= RADC - NR2 is always respected.
+        assert all(c.m <= DEFAULT_SEARCH_SPACE.adc_resolution - c.n_r2 for c in candidates)
+
+    def test_candidates_normal_distribution_search_bias(self, normal_samples):
+        summary = summarize_distribution(normal_samples)
+        candidates = list(candidate_params(summary, normal_samples, 1.0, n_max=5))
+        assert any(c.bias > 0 for c in candidates)
+
+    def test_candidates_other_distribution_equal_bits(self, multimodal_samples):
+        summary = summarize_distribution(multimodal_samples)
+        candidates = list(candidate_params(summary, multimodal_samples, 1.0, n_max=5))
+        assert candidates
+        assert all(c.n_r1 == c.n_r2 for c in candidates)
+        assert len({c.m for c in candidates}) > 1
+
+    def test_uniform_fallback_bits(self, skewed_samples):
+        bits, delta = uniform_fallback_bits(skewed_samples, v_grid=1.0, n_max=5)
+        assert bits == 5
+        assert delta == pytest.approx(skewed_samples.max() / 31)
+        bits_small, _ = uniform_fallback_bits(np.array([0.0, 3.0]), v_grid=1.0, n_max=7)
+        assert bits_small == 2  # Rideal = ceil(log2(4)) = 2
+
+
+# --------------------------------------------------------------------- #
+# calibration (Algorithm 1)
+# --------------------------------------------------------------------- #
+class TestCalibration:
+    def _calibrator(self, **kwargs) -> TwinRangeCalibrator:
+        space = SearchSpaceConfig(num_v_grid_candidates=8)
+        defaults = dict(search_space=space, max_samples_per_layer=4000, seed=0)
+        defaults.update(kwargs)
+        return TwinRangeCalibrator(**defaults)
+
+    def test_layer_calibration_on_skewed_data_saves_ops(self, skewed_samples):
+        calibrator = self._calibrator()
+        summary, trq_eval, uniform_eval = calibrator.calibrate_layer(skewed_samples, n_max=7)
+        assert summary.kind is DistributionType.IDEAL
+        assert trq_eval is not None
+        # The whole point of the paper: fewer mean ops than the 8-op baseline.
+        assert trq_eval.mean_ops_per_conversion < 8.0
+        assert trq_eval.r1_fraction > 0.5
+
+    def test_full_calibration_without_accuracy_loop(self, skewed_samples, normal_samples,
+                                                    multimodal_samples):
+        calibrator = self._calibrator()
+        result = calibrator.calibrate(
+            {"a": skewed_samples, "b": normal_samples, "c": multimodal_samples}
+        )
+        assert set(result.layers) == {"a", "b", "c"}
+        assert result.n_max == 7  # single iteration at RADC - 1
+        assert result.final_accuracy is None
+        assert 0.0 < result.predicted_remaining_fraction(8) <= 1.0
+        # Settings convert cleanly into hardware configuration registers.
+        configs = settings_to_adc_configs(result.settings, resolution=8)
+        assert set(configs) == {"a", "b", "c"}
+        for config in configs.values():
+            assert config.mode in (AdcMode.UNIFORM, AdcMode.TWIN_RANGE)
+
+    def test_accuracy_loop_lowers_nmax_until_threshold(self, skewed_samples):
+        calibrator = self._calibrator(accuracy_threshold=0.02, min_n_max=2)
+        samples = {"layer": skewed_samples}
+
+        # Synthetic oracle: accuracy degrades as the sensing bit budget drops.
+        accuracy_by_nmax = {7: 0.90, 6: 0.90, 5: 0.895, 4: 0.87, 3: 0.80, 2: 0.70}
+        calls = []
+
+        def accuracy_fn(settings):
+            bits = max(s.sensing_bits for s in settings.values())
+            calls.append(bits)
+            return accuracy_by_nmax[bits]
+
+        result = calibrator.calibrate(samples, accuracy_fn=accuracy_fn, baseline_accuracy=0.90)
+        # Nmax=4 drops accuracy by 0.03 > 0.02, so the accepted config is Nmax=5.
+        assert result.n_max == 5
+        assert result.final_accuracy == pytest.approx(0.895)
+        assert len(result.accuracy_history) >= 3
+
+    def test_accuracy_loop_keeps_first_config_if_it_already_violates(self, skewed_samples):
+        calibrator = self._calibrator(accuracy_threshold=0.001)
+        result = calibrator.calibrate(
+            {"layer": skewed_samples},
+            accuracy_fn=lambda settings: 0.5,
+            baseline_accuracy=0.9,
+        )
+        assert result.n_max == 7
+        assert result.final_accuracy == 0.5
+
+    def test_validation(self, skewed_samples):
+        calibrator = self._calibrator()
+        with pytest.raises(ValueError):
+            calibrator.calibrate({})
+        with pytest.raises(ValueError):
+            calibrator.calibrate({"a": skewed_samples}, accuracy_fn=lambda s: 1.0)
+        with pytest.raises(ValueError):
+            calibrator.calibrate_layer(np.array([]), n_max=4)
+        with pytest.raises(ValueError):
+            TwinRangeCalibrator(accuracy_threshold=-0.1)
+
+    def test_layer_adc_setting_validation(self):
+        with pytest.raises(ValueError):
+            LayerAdcSetting(use_trq=True, trq=None)
+        with pytest.raises(ValueError):
+            LayerAdcSetting(use_trq=False, uniform_bits=None, uniform_delta=None)
+        setting = LayerAdcSetting(use_trq=False, uniform_bits=5, uniform_delta=0.5)
+        assert setting.sensing_bits == 5
+
+    def test_uniform_adc_configs_helper(self, skewed_samples):
+        configs = uniform_adc_configs({"a": skewed_samples}, bits=4, resolution=8)
+        config = configs["a"]
+        assert config.mode is AdcMode.UNIFORM and config.effective_uniform_bits == 4
+        # Full scale of the 4-bit grid covers the observed maximum.
+        delta = config.v_grid * (1 << (8 - 4))
+        assert delta * 15 == pytest.approx(skewed_samples.max())

@@ -1,0 +1,229 @@
+"""Tests for the algorithm-level quantization datapath (paper Eq. 1, PTQ)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Sequential, Conv2d, ReLU, Flatten, Linear
+from repro.nn.models import build_model
+from repro.quantization import (
+    FakeQuantBackend,
+    HistogramObserver,
+    MinMaxObserver,
+    QuantParams,
+    QuantizationConfig,
+    attach_backend,
+    delta_from_range,
+    detach_backend,
+    find_mvm_layers,
+    quantization_mse,
+    quantize_model,
+    quantize_uniform,
+    symmetric_quant_params,
+    uniform_grid,
+)
+
+
+# --------------------------------------------------------------------- #
+# uniform quantization (Eq. 1)
+# --------------------------------------------------------------------- #
+class TestUniformQuantization:
+    def test_grid_values_are_fixed_points(self):
+        grid = uniform_grid(delta=0.5, num_bits=3)
+        np.testing.assert_array_equal(quantize_uniform(grid, 0.5, 3), grid)
+
+    def test_clamping_at_both_ends(self):
+        out = quantize_uniform(np.array([-5.0, 1000.0]), delta=1.0, num_bits=4)
+        np.testing.assert_array_equal(out, [0.0, 15.0])
+
+    def test_integer_codes_mode(self):
+        codes = quantize_uniform(np.array([0.4, 2.6]), delta=1.0, num_bits=4, dequantize=False)
+        assert codes.dtype == np.int64
+        np.testing.assert_array_equal(codes, [0, 3])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            quantize_uniform(np.zeros(3), delta=0.0, num_bits=4)
+        with pytest.raises(ValueError):
+            quantize_uniform(np.zeros(3), delta=1.0, num_bits=0)
+        with pytest.raises(ValueError):
+            delta_from_range(1.0, 1.0, 4)
+        assert delta_from_range(0.0, 15.0, 4) == pytest.approx(1.0)
+
+    @given(
+        values=st.lists(st.floats(min_value=0, max_value=1e4, allow_nan=False), min_size=1, max_size=50),
+        num_bits=st.integers(min_value=1, max_value=12),
+        delta=st.floats(min_value=1e-3, max_value=100.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_error_bounded_by_half_lsb_inside_range(self, values, num_bits, delta):
+        """Quantization error never exceeds Δ/2 for values within the grid range."""
+        values = np.asarray(values, dtype=np.float64)
+        full_scale = ((1 << num_bits) - 1) * delta
+        inside = values[values <= full_scale]
+        quantized = quantize_uniform(inside, delta, num_bits)
+        assert np.all(np.abs(quantized - inside) <= delta / 2 + 1e-9)
+
+    @given(
+        num_bits=st.integers(min_value=2, max_value=10),
+        delta=st.floats(min_value=1e-3, max_value=10.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_idempotent(self, num_bits, delta):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(0, ((1 << num_bits) - 1) * delta, size=100)
+        once = quantize_uniform(x, delta, num_bits)
+        twice = quantize_uniform(once, delta, num_bits)
+        np.testing.assert_allclose(once, twice)
+
+
+class TestQuantParams:
+    def test_signed_symmetric_round_trip(self):
+        params = symmetric_quant_params(max_abs=2.0, num_bits=8, signed=True)
+        codes = params.quantize(np.array([-2.0, 0.0, 2.0]))
+        np.testing.assert_array_equal(codes, [-127, 0, 127])
+        np.testing.assert_allclose(params.dequantize(codes), [-2.0, 0.0, 2.0], atol=1e-12)
+
+    def test_unsigned_range(self):
+        params = symmetric_quant_params(max_abs=10.0, num_bits=8, signed=False)
+        assert params.qmin == 0 and params.qmax == 255
+        assert params.quantize(np.array([-3.0]))[0] == 0
+
+    def test_zero_max_abs_falls_back_to_unit_scale(self):
+        params = symmetric_quant_params(0.0, 8)
+        assert params.scale == 1.0
+        np.testing.assert_array_equal(params.quantize(np.zeros(4)), np.zeros(4))
+
+    def test_quantize_dequantize_error_bound(self, rng):
+        params = symmetric_quant_params(max_abs=1.0, num_bits=8, signed=True)
+        x = rng.uniform(-1, 1, size=1000)
+        err = np.abs(params.quantize_dequantize(x) - x)
+        assert err.max() <= params.scale / 2 + 1e-12
+
+    def test_quantization_mse_helper(self):
+        assert quantization_mse(np.array([1.0, 2.0]), np.array([1.0, 2.0])) == 0.0
+        with pytest.raises(ValueError):
+            quantization_mse(np.zeros(3), np.zeros(4))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            QuantParams(scale=0.0, num_bits=8, signed=True)
+        with pytest.raises(ValueError):
+            QuantizationConfig(weight_bits=0)
+
+
+# --------------------------------------------------------------------- #
+# observers
+# --------------------------------------------------------------------- #
+class TestObservers:
+    def test_minmax_observer_tracks_extremes(self):
+        observer = MinMaxObserver()
+        observer.observe(np.array([1.0, -2.0]))
+        observer.observe(np.array([5.0]))
+        assert observer.min_value == -2.0 and observer.max_value == 5.0
+        assert observer.max_abs == 5.0
+        params = observer.quant_params()
+        assert params.signed and params.scale == pytest.approx(5.0 / 127)
+
+    def test_minmax_observer_requires_data(self):
+        with pytest.raises(RuntimeError):
+            MinMaxObserver().quant_params()
+
+    def test_minmax_observer_reset(self):
+        observer = MinMaxObserver()
+        observer.observe(np.ones(3))
+        observer.reset()
+        assert observer.count == 0 and observer.min_value is None
+
+    def test_histogram_observer_counts(self, rng):
+        observer = HistogramObserver(num_bins=16)
+        data = rng.exponential(2.0, size=500)
+        observer.observe(data[:250])
+        observer.observe(data[250:])
+        counts, edges = observer.histogram
+        assert counts.sum() == 500
+        assert len(edges) == 17
+        with pytest.raises(RuntimeError):
+            _ = HistogramObserver().histogram
+        with pytest.raises(ValueError):
+            HistogramObserver(num_bins=1)
+
+
+# --------------------------------------------------------------------- #
+# PTQ pipeline and fake-quant backend
+# --------------------------------------------------------------------- #
+def _toy_model():
+    return Sequential(
+        Conv2d(1, 3, 3, padding=1, rng=0),
+        ReLU(),
+        Flatten(),
+        Linear(3 * 8 * 8, 5, rng=0),
+    )
+
+
+class TestPTQ:
+    def test_find_mvm_layers(self):
+        model = _toy_model()
+        layers = find_mvm_layers(model)
+        assert [name for name, _ in layers] == ["0", "3"]
+
+    def test_quantize_model_produces_layer_artifacts(self, rng):
+        model = _toy_model()
+        model.eval()
+        images = rng.uniform(0, 1, size=(4, 1, 8, 8))
+        quantized = quantize_model(model, images)
+        assert set(quantized.layer_names) == {"0", "3"}
+        conv = quantized.layer("0")
+        assert conv.kind == "conv"
+        assert conv.weight_codes.shape == model[0].weight.data.shape
+        assert abs(conv.weight_codes).max() <= 127
+        # Image inputs are non-negative -> unsigned activation grid.
+        assert not conv.input_params.signed
+        assert conv.output_scale == pytest.approx(
+            conv.weight_params.scale * conv.input_params.scale
+        )
+        with pytest.raises(KeyError):
+            quantized.layer("nonexistent")
+        with pytest.raises(ValueError):
+            quantize_model(model, images[0])
+
+    def test_fake_quant_backend_close_to_float(self, rng):
+        model = _toy_model()
+        model.eval()
+        images = rng.uniform(0, 1, size=(6, 1, 8, 8))
+        reference = model(images)
+        quantized = quantize_model(model, images[:4])
+        backend = FakeQuantBackend(quantized)
+        attach_backend(model, backend)
+        try:
+            quant_out = model(images)
+        finally:
+            detach_backend(model)
+        assert np.all(np.isfinite(quant_out))
+        # 8-bit fake quantization stays close to the float output.
+        rel_err = np.abs(quant_out - reference).max() / (np.abs(reference).max() + 1e-9)
+        assert rel_err < 0.1
+        # After detaching, the float path is restored exactly.
+        np.testing.assert_allclose(model(images), reference)
+
+    def test_fake_quant_backend_rejects_foreign_layer(self, rng):
+        model = _toy_model()
+        model.eval()
+        quantized = quantize_model(model, rng.uniform(0, 1, size=(2, 1, 8, 8)))
+        backend = FakeQuantBackend(quantized)
+        other = Linear(4, 2, rng=0)
+        other.eval()
+        other.compute_backend = backend
+        with pytest.raises(KeyError):
+            other(np.zeros((1, 4)))
+
+    def test_quantized_inference_of_registry_model(self, rng):
+        model = build_model("lenet5", preset="tiny", rng=0)
+        model.eval()
+        images = rng.uniform(0, 1, size=(4, 1, 28, 28))
+        quantized = quantize_model(model, images)
+        # Every MVM layer of the registry models must have non-negative inputs.
+        assert all(not lq.input_params.signed for lq in quantized.layers.values())

@@ -1,0 +1,199 @@
+"""Tests for repro.utils: rng, validation, config serialisation, numerics."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.utils import config as config_mod
+from repro.utils import numeric, rng as rng_mod, validation
+
+
+# --------------------------------------------------------------------- #
+# rng
+# --------------------------------------------------------------------- #
+class TestRng:
+    def test_new_rng_default_is_deterministic(self):
+        a = rng_mod.new_rng(None).integers(0, 1000, size=5)
+        b = rng_mod.new_rng(None).integers(0, 1000, size=5)
+        assert np.array_equal(a, b)
+
+    def test_new_rng_accepts_int_and_generator(self):
+        gen = np.random.default_rng(3)
+        assert rng_mod.new_rng(gen) is gen
+        assert isinstance(rng_mod.new_rng(42), np.random.Generator)
+
+    def test_new_rng_rejects_bad_seed(self):
+        with pytest.raises(TypeError):
+            rng_mod.new_rng("seed")  # type: ignore[arg-type]
+
+    def test_derive_seed_stable_and_label_sensitive(self):
+        assert rng_mod.derive_seed(1, "a", 2) == rng_mod.derive_seed(1, "a", 2)
+        assert rng_mod.derive_seed(1, "a") != rng_mod.derive_seed(1, "b")
+        assert rng_mod.derive_seed(1, "a") != rng_mod.derive_seed(2, "a")
+
+    def test_spawn_rngs_independent(self):
+        gens = rng_mod.spawn_rngs(0, 3)
+        assert len(gens) == 3
+        draws = [g.integers(0, 10**9) for g in gens]
+        assert len(set(draws)) == 3
+
+    def test_spawn_rngs_rejects_negative_count(self):
+        with pytest.raises(ValueError):
+            rng_mod.spawn_rngs(0, -1)
+
+    def test_choice_without_replacement_bounds(self):
+        gen = np.random.default_rng(0)
+        picked = rng_mod.choice_without_replacement(gen, 10, 10)
+        assert sorted(picked.tolist()) == list(range(10))
+        with pytest.raises(ValueError):
+            rng_mod.choice_without_replacement(gen, 5, 6)
+
+    def test_stable_shuffle_preserves_items(self):
+        gen = np.random.default_rng(0)
+        items = list(range(20))
+        shuffled = rng_mod.stable_shuffle(gen, items)
+        assert sorted(shuffled) == items
+        assert items == list(range(20))  # input not mutated
+
+    def test_rng_mixin(self):
+        class Thing(rng_mod.RngMixin):
+            def __init__(self, seed=None):
+                self._init_rng(seed)
+
+        a, b = Thing(5), Thing(5)
+        assert a.rng.integers(0, 100) == b.rng.integers(0, 100)
+        a.reseed(6)
+        assert isinstance(a.rng, np.random.Generator)
+
+
+# --------------------------------------------------------------------- #
+# validation
+# --------------------------------------------------------------------- #
+class TestValidation:
+    def test_check_integer_accepts_integral_values(self):
+        assert validation.check_integer(3, "x") == 3
+        assert validation.check_integer(3.0, "x") == 3
+        assert validation.check_integer(np.int64(7), "x") == 7
+
+    def test_check_integer_rejects_bool_and_float(self):
+        with pytest.raises(TypeError):
+            validation.check_integer(True, "x")
+        with pytest.raises(TypeError):
+            validation.check_integer(3.5, "x")
+
+    def test_check_positive(self):
+        assert validation.check_positive(2, "x") == 2
+        assert validation.check_positive(0, "x", strict=False) == 0
+        with pytest.raises(ValueError):
+            validation.check_positive(0, "x")
+
+    def test_check_in_range(self):
+        assert validation.check_in_range(5, "x", low=0, high=10) == 5
+        with pytest.raises(ValueError):
+            validation.check_in_range(5, "x", low=6)
+        with pytest.raises(ValueError):
+            validation.check_in_range(5, "x", high=4)
+        with pytest.raises(ValueError):
+            validation.check_in_range(5, "x", low=5, inclusive=False)
+
+    def test_check_probability(self):
+        assert validation.check_probability(0.5, "p") == 0.5
+        with pytest.raises(ValueError):
+            validation.check_probability(1.5, "p")
+
+    def test_check_power_of_two(self):
+        for value in (1, 2, 4, 128):
+            assert validation.check_power_of_two(value, "x") == value
+        for value in (0, 3, -4):
+            with pytest.raises(ValueError):
+                validation.check_power_of_two(value, "x")
+
+
+# --------------------------------------------------------------------- #
+# numeric
+# --------------------------------------------------------------------- #
+class TestNumeric:
+    def test_round_half_up_at_midpoints(self):
+        values = np.array([0.5, 1.5, 2.5, -0.5, -1.5])
+        expected = np.array([1.0, 2.0, 3.0, 0.0, -1.0])
+        assert np.array_equal(numeric.round_half_up(values), expected)
+
+    def test_round_half_up_matches_round_away_from_midpoints(self):
+        values = np.array([0.4, 0.6, 2.1, 7.9])
+        assert np.array_equal(numeric.round_half_up(values), np.round(values))
+
+    def test_ceil_log2(self):
+        assert numeric.ceil_log2(1) == 0
+        assert numeric.ceil_log2(2) == 1
+        assert numeric.ceil_log2(129) == 8
+        with pytest.raises(ValueError):
+            numeric.ceil_log2(0)
+
+    def test_ceil_div(self):
+        assert numeric.ceil_div(7, 3) == 3
+        assert numeric.ceil_div(6, 3) == 2
+        with pytest.raises(ValueError):
+            numeric.ceil_div(3, 0)
+
+    def test_is_power_of_two(self):
+        assert numeric.is_power_of_two(8)
+        assert not numeric.is_power_of_two(0)
+        assert not numeric.is_power_of_two(6)
+
+
+# --------------------------------------------------------------------- #
+# config serialisation
+# --------------------------------------------------------------------- #
+@dataclasses.dataclass
+class _Inner:
+    value: int
+    weights: np.ndarray
+
+
+@dataclasses.dataclass
+class _Outer:
+    name: str
+    inner: _Inner
+    ratio: float = 0.5
+
+
+class TestConfigSerialisation:
+    def test_asdict_recursive_handles_numpy(self):
+        outer = _Outer(name="x", inner=_Inner(value=3, weights=np.arange(3)))
+        data = config_mod.asdict_recursive(outer)
+        assert data["inner"]["weights"] == [0, 1, 2]
+        assert data["ratio"] == 0.5
+
+    def test_asdict_recursive_rejects_non_dataclass(self):
+        with pytest.raises(TypeError):
+            config_mod.asdict_recursive({"a": 1})
+
+    def test_json_round_trip(self):
+        @dataclasses.dataclass
+        class Simple:
+            a: int
+            b: float
+
+        text = config_mod.config_to_json(Simple(a=1, b=2.5))
+        restored = config_mod.config_from_json(Simple, text)
+        assert restored == Simple(a=1, b=2.5)
+
+    def test_config_from_json_rejects_unknown_fields(self):
+        @dataclasses.dataclass
+        class Simple:
+            a: int
+
+        with pytest.raises(TypeError):
+            config_mod.config_from_json(Simple, '{"a": 1, "zzz": 2}')
+        with pytest.raises(TypeError):
+            config_mod.config_from_json(Simple, "[1, 2]")
+
+    def test_save_and_load_json(self, tmp_path):
+        payload = {"name": "exp", "values": np.array([1.5, 2.5])}
+        path = config_mod.save_json(payload, tmp_path / "sub" / "exp.json")
+        assert path.exists()
+        loaded = config_mod.load_json(path)
+        assert loaded["values"] == [1.5, 2.5]
