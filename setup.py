@@ -1,4 +1,24 @@
-"""Legacy setup shim so `pip install -e .` works without the wheel package."""
-from setuptools import setup
+"""Packaging for the TRQ / twin-range ADC PIM simulator reproduction.
 
-setup()
+``pip install -e .`` exposes the ``repro`` package from ``src/`` so tests,
+benchmarks and examples can drop the ``PYTHONPATH=src`` prefix.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro-trq-pim",
+    version="0.1.0",
+    description=(
+        "Reproduction of a twin-range-quantization SAR-ADC ReRAM PIM "
+        "simulator (crossbar mapping, configurable ADC models, calibration "
+        "search, architecture-level energy/latency reporting)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy>=1.22"],
+    extras_require={
+        "test": ["pytest", "hypothesis", "pytest-benchmark"],
+    },
+)

@@ -14,6 +14,7 @@ from repro.adc.energy import (
     conversions_per_mvm,
     ideal_adc_resolution,
 )
+from repro.adc.lut import AdcTransferLut, LutConversionMixin
 from repro.adc.nonuniform import NonUniformAdc
 from repro.adc.sar import ConversionTrace, SarAdc, TwinRangeSarAdc, build_cycle_accurate_adc
 from repro.adc.trq import TwinRangeAdc, build_adc
@@ -23,6 +24,8 @@ __all__ = [
     "AdcConfig",
     "AdcEnergyParams",
     "AdcMode",
+    "AdcTransferLut",
+    "LutConversionMixin",
     "ConversionStats",
     "ConversionTrace",
     "DEFAULT_ADC_ENERGY",

@@ -17,10 +17,11 @@ from typing import Tuple
 import numpy as np
 
 from repro.adc.counters import ConversionStats
+from repro.adc.lut import AdcTransferLut, LutConversionMixin
 from repro.utils.numeric import ceil_log2
 
 
-class NonUniformAdc:
+class NonUniformAdc(LutConversionMixin):
     """ADC quantizing onto an arbitrary monotonically increasing grid."""
 
     def __init__(self, grid: np.ndarray) -> None:
@@ -94,6 +95,15 @@ class NonUniformAdc:
         ops = values.size * self.bits
         self.stats.record(conversions=values.size, operations=ops)
         return quantized, ops
+
+    def _build_transfer_lut(self, max_value: int) -> AdcTransferLut:
+        """Tabulate the nearest-grid-level mapping for integer inputs."""
+        levels = np.arange(max_value + 1, dtype=np.float64)
+        indices = np.searchsorted(self._midpoints, levels, side="right")
+        return AdcTransferLut(
+            values=self.grid[indices],
+            ops_per_value=np.full(max_value + 1, self.bits, dtype=np.int64),
+        )
 
     def reset_stats(self) -> None:
         self.stats.reset()

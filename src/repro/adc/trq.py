@@ -18,10 +18,11 @@ import numpy as np
 
 from repro.adc.config import AdcConfig, AdcMode
 from repro.adc.counters import ConversionStats
-from repro.core.trq import TRQParams, classify_regions, twin_range_quantize
+from repro.adc.lut import AdcTransferLut, LutConversionMixin, compact_levels
+from repro.core.trq import TRQParams, classify_regions, twin_range_levels, twin_range_quantize
 
 
-class TwinRangeAdc:
+class TwinRangeAdc(LutConversionMixin):
     """Array-oriented twin-range SAR ADC model with statistics tracking."""
 
     def __init__(self, params: TRQParams) -> None:
@@ -51,6 +52,48 @@ class TwinRangeAdc:
             in_r2=num_r2,
         )
         return quantized, total
+
+    @property
+    def level_scale(self) -> float:
+        """The integer-level step: quantized value = ``delta_r1 · level``."""
+        return self.params.delta_r1
+
+    def convert_levels(self, values: np.ndarray) -> Tuple[np.ndarray, int]:
+        """Convert to integer output levels; returns ``(levels, ops)``.
+
+        Same statistics and operation count as :meth:`convert`; the quantized
+        value is exactly ``level_scale · level`` (see
+        :func:`repro.core.trq.twin_range_levels`).
+        """
+        values = np.asarray(values, dtype=np.float64)
+        levels, in_r1 = twin_range_levels(values, self.params)
+        num_r1 = int(np.count_nonzero(in_r1))
+        num_r2 = int(values.size - num_r1)
+        detection = values.size * self.params.detection_ops
+        total = detection + num_r1 * self.params.n_r1 + num_r2 * self.params.n_r2
+        self.stats.record(
+            conversions=values.size,
+            operations=total,
+            detection_operations=detection,
+            in_r1=num_r1,
+            in_r2=num_r2,
+        )
+        return levels, total
+
+    def _build_transfer_lut(self, max_value: int) -> AdcTransferLut:
+        """Tabulate the twin-range transfer function and per-region op costs."""
+        inputs = np.arange(max_value + 1, dtype=np.float64)
+        quantized, in_r1 = twin_range_quantize(inputs, self.params)
+        levels, _ = twin_range_levels(inputs, self.params)
+        search_ops = self.params.ops_for_region(in_r1).astype(np.int64)
+        return AdcTransferLut(
+            values=quantized,
+            ops_per_value=self.params.detection_ops + search_ops,
+            levels=compact_levels(levels),
+            scale=self.params.delta_r1,
+            in_r1=in_r1,
+            detection_ops=self.params.detection_ops,
+        )
 
     def region_mask(self, values: np.ndarray) -> np.ndarray:
         """Boolean mask of samples handled by the dense range (no stats)."""

@@ -15,10 +15,11 @@ import numpy as np
 
 from repro.adc.config import AdcConfig, AdcMode, uniform_config
 from repro.adc.counters import ConversionStats
+from repro.adc.lut import AdcTransferLut, LutConversionMixin, compact_levels
 from repro.utils.numeric import round_half_up
 
 
-class UniformAdc:
+class UniformAdc(LutConversionMixin):
     """Uniform SAR ADC converting arrays of values.
 
     Parameters
@@ -69,6 +70,35 @@ class UniformAdc:
         ops = values.size * self.bits
         self.stats.record(conversions=values.size, operations=ops)
         return quantized, ops
+
+    @property
+    def level_scale(self) -> float:
+        """The integer-level step: quantized value = ``delta · level``."""
+        return self.delta
+
+    def convert_levels(self, values: np.ndarray) -> Tuple[np.ndarray, int]:
+        """Convert to integer output levels (codes); returns ``(levels, ops)``.
+
+        Same statistics and operation count as :meth:`convert`; the quantized
+        value is exactly ``level_scale · level``.  Levels are returned as
+        float64 holding exact integers, ready for exact shift-and-add merging.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        codes = np.clip(round_half_up(values / self.delta), 0, self.max_code)
+        ops = values.size * self.bits
+        self.stats.record(conversions=values.size, operations=ops)
+        return codes, ops
+
+    def _build_transfer_lut(self, max_value: int) -> AdcTransferLut:
+        """Tabulate the K-step binary-search transfer function (integer inputs)."""
+        inputs = np.arange(max_value + 1, dtype=np.float64)
+        codes = np.clip(round_half_up(inputs / self.delta), 0, self.max_code)
+        return AdcTransferLut(
+            values=codes * self.delta,
+            ops_per_value=np.full(max_value + 1, self.bits, dtype=np.int64),
+            levels=compact_levels(codes),
+            scale=self.delta,
+        )
 
     def reset_stats(self) -> None:
         self.stats.reset()

@@ -41,6 +41,7 @@ from repro.core.trq import (
     encode,
     mean_ad_operations,
     quantization_mse,
+    twin_range_levels,
     twin_range_quantize,
     uniform_reference_quantize,
 )
@@ -73,6 +74,7 @@ __all__ = [
     "summarize_distribution",
     "trq_energy_ops",
     "trq_mse",
+    "twin_range_levels",
     "twin_range_quantize",
     "uniform_adc_configs",
     "uniform_fallback_bits",

@@ -99,9 +99,22 @@ class TRQParams:
 
 
 def classify_regions(values: np.ndarray, params: TRQParams) -> np.ndarray:
-    """Boolean mask: True where a value falls inside the dense range R1."""
+    """Boolean mask: True where a value is resolved by the dense range R1.
+
+    Mirrors the SAR detection phase of :class:`repro.adc.sar.TwinRangeSarAdc`
+    exactly: with ``bias == 0`` the hardware spends a single comparison
+    against the upper edge ``θ``, so *everything* below it — including
+    (physically impossible) negative inputs — is handled by R1.  Only a
+    biased window checks the lower edge as well.  Bit-line values are
+    non-negative, so the two rules agree on all real data; stating the
+    hardware rule keeps the vectorised and cycle-accurate models equivalent
+    on the full input domain (see the ADC fuzz tests).
+    """
     values = np.asarray(values, dtype=np.float64)
-    return (values >= params.r1_low) & (values < params.r1_high)
+    below_upper = values < params.r1_high
+    if params.bias == 0:
+        return below_upper
+    return below_upper & (values >= params.r1_low)
 
 
 def twin_range_quantize(
@@ -135,6 +148,35 @@ def twin_range_quantize(
     recon_r2 = codes_r2 * params.delta_r2
 
     return np.where(in_r1, recon_r1, recon_r2), in_r1
+
+
+def twin_range_levels(
+    values: np.ndarray, params: TRQParams
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Integer output levels of the TRQ transfer function.
+
+    The decoded value of every TRQ code is an exact integer multiple of the
+    dense step: ``Tk(v) = ΔR1 · level`` with ``level = bias·2^NR1 + code`` in
+    R1 and ``level = code · 2^M`` in R2 (paper Eq. 7-8).  Returning the
+    integer level instead of the float reconstruction lets the simulator
+    shift-and-add merge *exactly* (levels and merge factors are small
+    integers) and apply ``ΔR1`` once per output — the foundation of the fast
+    engine's bit-reproducibility (see :mod:`repro.crossbar.mapping`).
+
+    Returns ``(levels, in_r1)``; ``levels`` is float64 but holds exact
+    integers.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    in_r1 = classify_regions(values, params)
+
+    max_code_r1 = (1 << params.n_r1) - 1
+    codes_r1 = np.clip(round_half_up((values - params.r1_low) / params.delta_r1), 0, max_code_r1)
+    max_code_r2 = (1 << params.n_r2) - 1
+    codes_r2 = np.clip(round_half_up(values / params.delta_r2), 0, max_code_r2)
+
+    offset = float(params.bias << params.n_r1)
+    levels = np.where(in_r1, offset + codes_r1, codes_r2 * float(1 << params.m))
+    return levels, in_r1
 
 
 def encode(values: np.ndarray, params: TRQParams) -> np.ndarray:

@@ -17,6 +17,39 @@ segment) then produces *every* bit-line value of that cycle/segment at once,
 which keeps the Python overhead negligible while remaining exactly equivalent
 to simulating each 128×128 array separately (verified by unit tests against
 :func:`repro.crossbar.merge.shift_add_merge`).
+
+Simulation engines
+------------------
+``matmul`` offers two engines behind the ``engine`` switch:
+
+* ``"reference"`` — the original loop over ``num_input_cycles ×
+  num_segments`` blocks, one matmul and one element-wise ADC conversion per
+  block.  Slow but maximally transparent; kept as the verification oracle.
+* ``"fast"`` — the fused kernel: all input cycles of a batch are stacked into
+  one ``(cycles · batch, segment_rows)`` operand so each segment needs a
+  single matmul, and ADC conversion runs in the *integer domain*.  Bit-line
+  values are exact non-negative integers bounded by ``segment_rows ·
+  (2^RDA − 1) · (2^Rcell − 1)``, so LUT-capable ADCs (see
+  :mod:`repro.adc.lut`) convert them with one integer gather and derive exact
+  region/op totals from ``np.bincount`` instead of per-element float math.
+
+Bit-reproducibility rests on the **integer-domain invariant**: every quantity
+the datapath merges is an exact small integer.  ADCs with a uniform level
+grid expose integer *output levels* ``k`` (quantized value = ``scale · k``
+exactly), the shift-and-add factors and DAC cycle weights are signed powers
+of two, and every partial sum stays far below ``2^53`` — so float64
+accumulation is exact in *any* order.  Both engines therefore compute the
+same exact integers, scale them once per output, and produce bit-identical
+results with identical operation counts (asserted by the test suite and by
+``benchmarks/bench_engine_fastpath.py``).  Converters without a level grid
+(e.g. the non-uniform baseline, or noise-wrapped ADCs) take an element-wise
+fallback inside the fused kernel that replays the reference merge order.
+
+Observable differences are limited to the optional ``partial_observer``: the
+reference engine emits blocks cycle-major, the fast engine segment-major
+(block shapes and values are identical), and fast-engine blocks are
+transient views into reused scratch buffers — observers must copy what they
+keep.
 """
 
 from __future__ import annotations
@@ -129,12 +162,31 @@ class MappedMVMLayer:
             dtype=np.float64,
         )
         self._merge_factors = np.stack([plane_shifts, -plane_shifts], axis=0)  # (2, planes)
+        # Fused (cycle, sign, plane) factors of the fast engine: every entry is
+        # an exact (signed) power of two, so multiplying integer levels by it
+        # and summing in float64 is exact arithmetic.
+        cycle_shifts = np.array(
+            [1 << (c * topology.dac_bits) for c in range(self.num_input_cycles)],
+            dtype=np.float64,
+        )
+        self._fused_factors = cycle_shifts[:, None, None] * self._merge_factors[None, :, :]
 
         size = topology.crossbar_size
         self._segments: List[slice] = [
             slice(start, min(start + size, self.in_features))
             for start in range(0, self.in_features, size)
         ]
+        # Exact upper bound on any bit-line value of this layer: the largest
+        # per-segment column sum of the plane matrix times the largest DAC
+        # code.  Sizes the ADC transfer LUTs of the fast engine.
+        dac_max = (1 << topology.dac_bits) - 1
+        self._max_bitline = int(
+            dac_max
+            * max(
+                (float(self._plane_matrix[seg].sum(axis=0).max()) for seg in self._segments),
+                default=0.0,
+            )
+        )
 
     # ------------------------------------------------------------------ #
     # resource accounting
@@ -142,6 +194,11 @@ class MappedMVMLayer:
     @property
     def num_segments(self) -> int:
         return len(self._segments)
+
+    @property
+    def max_bitline_value(self) -> int:
+        """Largest bit-line value this layer can produce (LUT bound)."""
+        return self._max_bitline
 
     @property
     def segment_sizes(self) -> List[int]:
@@ -198,7 +255,10 @@ class MappedMVMLayer:
         batch = partials.shape[0]
         block = partials.reshape(batch, 2, self.num_weight_planes, self.out_features)
         return np.einsum(
-            "bspo,sp->bo", block.astype(np.float64), self._merge_factors, optimize=True
+            "bspo,sp->bo",
+            np.asarray(block, dtype=np.float64),
+            self._merge_factors,
+            optimize=True,
         )
 
     def matmul(
@@ -206,6 +266,7 @@ class MappedMVMLayer:
         input_codes: np.ndarray,
         adc: Optional[object] = None,
         partial_observer: Optional[Callable[[np.ndarray], None]] = None,
+        engine: str = "reference",
     ) -> Tuple[np.ndarray, int]:
         """Execute the full bit-sliced MVM for a batch of input vectors.
 
@@ -221,6 +282,11 @@ class MappedMVMLayer:
         partial_observer:
             Optional callable receiving every raw bit-line block (used to
             capture the value distributions of paper Fig. 3a).
+        engine:
+            ``"reference"`` (per-cycle/segment loop, the oracle) or ``"fast"``
+            (fused cycles + integer-domain LUT conversion).  Both produce
+            bit-identical results and identical operation counts; see the
+            module docstring.
 
         Returns
         -------
@@ -234,13 +300,70 @@ class MappedMVMLayer:
             raise ValueError(
                 f"input_codes must be (batch, {self.in_features}), got {input_codes.shape}"
             )
-        cycles = slice_inputs_temporal(
-            input_codes, self.quant_config.activation_bits, self.topology.dac_bits
-        )
+        if engine == "reference":
+            cycles = slice_inputs_temporal(
+                input_codes, self.quant_config.activation_bits, self.topology.dac_bits
+            )
+            return self._matmul_reference(cycles, adc, partial_observer)
+        if engine == "fast":
+            return self._matmul_fast(input_codes, adc, partial_observer)
+        raise ValueError(f"unknown engine {engine!r} (expected 'fast' or 'reference')")
+
+    def _stack_cycles(self, input_codes: np.ndarray) -> np.ndarray:
+        """Temporal slicing fused with cycle stacking for the fast engine.
+
+        Writes the ``num_cycles`` DAC slices directly into one reused
+        ``(cycles · batch, in_features)`` float32 operand (cycle-major), with
+        the same range validation and slice values as
+        :func:`repro.crossbar.slicing.slice_inputs_temporal`.
+        """
+        activation_bits = self.quant_config.activation_bits
+        dac_bits = self.topology.dac_bits
         batch = input_codes.shape[0]
+        codes = input_codes.astype(np.int64, copy=False)
+        if codes.size:
+            if codes.min() < 0:
+                raise ValueError("bit_slice expects non-negative integers")
+            if codes.max() >= (1 << activation_bits):
+                raise ValueError(
+                    f"values exceed {activation_bits} bits (max={codes.max()})"
+                )
+        stacked = self._fast_buffer(
+            "stacked", (self.num_input_cycles * batch, self.in_features), np.float32
+        )
+        view = stacked.reshape(self.num_input_cycles, batch, self.in_features)
+        mask = (1 << dac_bits) - 1
+        for cycle_index in range(self.num_input_cycles):
+            np.copyto(
+                view[cycle_index],
+                (codes >> (cycle_index * dac_bits)) & mask,
+                casting="unsafe",
+            )
+        return stacked
+
+    def _matmul_reference(
+        self,
+        cycles: np.ndarray,
+        adc: Optional[object],
+        partial_observer: Optional[Callable[[np.ndarray], None]],
+    ) -> Tuple[np.ndarray, int]:
+        """The per-``(cycle, segment)`` block loop (oracle path).
+
+        LUT-free by construction: conversions go through the ADC's
+        transparent per-element float formulas (``convert_levels`` when the
+        converter has an integer level grid, ``convert`` otherwise), so this
+        path independently defines the behaviour the fused engine must
+        reproduce.  For level-grid converters the loop merges integer levels
+        and applies the step scale once per output — the integer-domain
+        semantics of the datapath — which can differ from scaling each
+        reconstructed value individually by ~1 ulp per sample.
+        """
+        batch = cycles.shape[1]
         accumulator = np.zeros((batch, self.out_features), dtype=np.float64)
         total_ops = 0
         baseline_ops = self.topology.ideal_adc_resolution
+        convert_levels = getattr(adc, "convert_levels", None)
+        scale = float(adc.level_scale) if convert_levels is not None else 1.0
 
         for cycle_index in range(cycles.shape[0]):
             cycle_factor = float(1 << (cycle_index * self.topology.dac_bits))
@@ -249,10 +372,171 @@ class MappedMVMLayer:
                 partials = self.bitline_partials(cycle_slice, segment_index)
                 if partial_observer is not None:
                     partial_observer(partials)
-                if adc is not None:
-                    partials, ops = adc.convert(partials)
+                if adc is None:
+                    total_ops += partials.size * baseline_ops
+                elif convert_levels is not None:
+                    partials, ops = convert_levels(partials)
                     total_ops += int(ops)
                 else:
-                    total_ops += partials.size * baseline_ops
+                    partials, ops = adc.convert(partials)
+                    total_ops += int(ops)
                 accumulator += cycle_factor * self.merge_partials(partials)
+        if scale != 1.0:
+            accumulator *= scale
         return accumulator, total_ops
+
+    #: Elements per conversion tile of the fast engine; sized so the tile's
+    #: integer codes and gathered levels stay cache-resident.
+    _FAST_TILE = 1 << 18
+
+    def _matmul_fast(
+        self,
+        input_codes: np.ndarray,
+        adc: Optional[object],
+        partial_observer: Optional[Callable[[np.ndarray], None]],
+    ) -> Tuple[np.ndarray, int]:
+        """Fused kernel: one matmul per segment, integer-domain conversion.
+
+        All input cycles are stacked into a single ``(cycles · batch, rows)``
+        operand per segment, so the matmul count drops from ``cycles ×
+        segments`` to ``segments``.  ADCs with an integer level grid (see
+        :mod:`repro.adc.lut`) are applied as a tiled integer gather of output
+        *levels*; the cycle/plane/sign merge then collapses into a single
+        einsum per segment whose factors are exact powers of two, making
+        every partial sum exact integer arithmetic in float64 — bit-identical
+        to the reference loop regardless of summation order.  Exact operation
+        and region totals come from ``np.bincount`` on the same codes.
+        Converters without a level grid (e.g. noise-wrapped ones) fall back
+        to their element-wise ``convert`` on the fused block with the
+        reference engine's merge order.
+
+        Blocks handed to ``partial_observer`` are transient views into a
+        reused buffer — observers must copy what they keep (the distribution
+        collector does).
+        """
+        num_cycles, batch = self.num_input_cycles, input_codes.shape[0]
+        stacked = self._stack_cycles(input_codes)
+        lut = None
+        if adc is not None:
+            transfer_lut = getattr(adc, "transfer_lut", None)
+            if transfer_lut is not None:
+                lut = transfer_lut(self._max_bitline)
+                if lut.levels is None:
+                    lut = None
+            if lut is None:
+                return self._matmul_fast_fallback(stacked, num_cycles, batch, adc, partial_observer)
+
+        total_ops = 0
+        cols = 2 * self.num_weight_planes * self.out_features
+        block_shape = (num_cycles, batch, 2 * self.num_weight_planes, self.out_features)
+        fused_factors = self._fused_factors.reshape(num_cycles, -1)
+        accumulator = np.zeros((batch, self.out_features), dtype=np.float64)
+        partials_buf = self._fast_buffer("partials", (num_cycles * batch, cols), np.float32)
+        if lut is not None:
+            counts = np.zeros(lut.values.size, dtype=np.int64)
+            levels_buf = self._fast_buffer(
+                "levels", (num_cycles * batch, cols), lut.levels.dtype
+            )
+
+        for segment in self._segments:
+            np.matmul(stacked[:, segment], self._plane_matrix[segment], out=partials_buf)
+            if partial_observer is not None:
+                blocks = partials_buf.reshape(num_cycles, batch, cols)
+                for cycle_index in range(num_cycles):
+                    partial_observer(blocks[cycle_index])
+            if lut is None:
+                total_ops += partials_buf.size * self.topology.ideal_adc_resolution
+                merged_source = partials_buf
+            else:
+                flat_partials = partials_buf.reshape(-1)
+                flat_levels = levels_buf.reshape(-1)
+                for start in range(0, flat_partials.size, self._FAST_TILE):
+                    stop = min(start + self._FAST_TILE, flat_partials.size)
+                    codes = flat_partials[start:stop].astype(np.int64)
+                    tile_counts = np.bincount(codes, minlength=counts.size)
+                    if tile_counts.size > counts.size:
+                        raise ValueError(
+                            f"bit-line value {int(codes.max())} exceeds the "
+                            f"LUT bound {lut.max_value}"
+                        )
+                    counts += tile_counts
+                    np.take(lut.levels, codes, out=flat_levels[start:stop])
+                merged_source = levels_buf
+            # Contract the (cycle, sign·plane) axes with the fused power-of-two
+            # factors — exact float64 accumulation, tiled over the batch so the
+            # contraction operands stay cache-resident.
+            blocks = merged_source.reshape(block_shape)
+            row_tile = max(1, self._FAST_TILE // max(1, num_cycles * cols))
+            for start in range(0, batch, row_tile):
+                stop = min(start + row_tile, batch)
+                accumulator[start:stop] += np.tensordot(
+                    blocks[:, start:stop], fused_factors, axes=([0, 2], [0, 1])
+                )
+
+        if lut is not None:
+            total_ops += adc.record_code_counts(counts, lut)
+            if lut.scale != 1.0:
+                accumulator *= lut.scale
+        return accumulator, total_ops
+
+    def _matmul_fast_fallback(
+        self,
+        stacked: np.ndarray,
+        num_cycles: int,
+        batch: int,
+        adc: object,
+        partial_observer: Optional[Callable[[np.ndarray], None]],
+    ) -> Tuple[np.ndarray, int]:
+        """Fused-GEMM path for converters without an integer level grid.
+
+        The element-wise ``convert`` runs on the whole stacked block (same
+        values as per-block conversion) and the per-(cycle, segment) merge
+        contributions are accumulated in exactly the reference order, so the
+        result matches the loop path bit for bit whenever the converter is
+        deterministic.  Replaying that order requires holding all
+        ``cycles × segments`` merged ``(batch, out)`` contributions before
+        the final accumulation — at large ``chunk_size`` this path (noise
+        models, non-uniform grids) trades memory for bit-parity; shrink the
+        chunk if that matters.
+        """
+        total_ops = 0
+        contributions: List[List[np.ndarray]] = [[] for _ in range(num_cycles)]
+        for segment in self._segments:
+            partials = stacked[:, segment] @ self._plane_matrix[segment]
+            if partial_observer is not None:
+                blocks = partials.reshape(num_cycles, batch, -1)
+                for cycle_index in range(num_cycles):
+                    partial_observer(blocks[cycle_index])
+            quantized, ops = adc.convert(partials)
+            total_ops += int(ops)
+            quantized = np.asarray(quantized).reshape(num_cycles, batch, -1)
+            for cycle_index in range(num_cycles):
+                cycle_factor = float(1 << (cycle_index * self.topology.dac_bits))
+                contributions[cycle_index].append(
+                    cycle_factor * self.merge_partials(quantized[cycle_index])
+                )
+        accumulator = np.zeros((batch, self.out_features), dtype=np.float64)
+        for per_cycle in contributions:
+            for contribution in per_cycle:
+                accumulator += contribution
+        return accumulator, total_ops
+
+    def _fast_buffer(self, name: str, shape: Tuple[int, int], dtype) -> np.ndarray:
+        """A reusable scratch buffer (avoids large re-allocations per chunk)."""
+        cache = getattr(self, "_fast_buffers", None)
+        if cache is None:
+            cache = self._fast_buffers = {}
+        buffer = cache.get(name)
+        if buffer is None or buffer.shape != shape or buffer.dtype != np.dtype(dtype):
+            buffer = cache[name] = np.empty(shape, dtype=dtype)
+        return buffer
+
+    def release_scratch(self) -> None:
+        """Free the fast engine's scratch buffers.
+
+        The buffers are sized ``num_input_cycles · batch × total_columns``
+        and are kept between ``matmul`` calls so consecutive chunks of one
+        execution reuse them; call this after a run to return the memory
+        (the backend does so after each layer execution).
+        """
+        self._fast_buffers = None

@@ -14,7 +14,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.utils.rng import SeedLike, new_rng
+from repro.utils.rng import SeedLike, derive_seed, new_rng
 from repro.utils.validation import check_in_range, check_integer
 
 
@@ -47,11 +47,17 @@ class ReservoirSampler:
         accepted = values[mask]
         if accepted.size == 0:
             return
+        if accepted.size > self.capacity:
+            # A block much larger than everything seen so far can be accepted
+            # almost wholesale; clamp it to the capacity bound by a uniform
+            # subsample before it displaces the current reservoir.
+            keep = self._rng.choice(accepted.size, size=self.capacity, replace=False)
+            accepted = accepted[np.sort(keep)]
         if self._stored + accepted.size > self.capacity:
             # Evict uniformly to make room.
             current = self.values
             keep = self._rng.choice(
-                current.size, size=max(0, self.capacity - accepted.size), replace=False
+                current.size, size=self.capacity - accepted.size, replace=False
             )
             self._chunks = [current[np.sort(keep)]]
             self._stored = self._chunks[0].size
@@ -89,7 +95,22 @@ class DistributionCollector:
         """Select which layer subsequent blocks belong to."""
         self._active_layer = name
         if name not in self._samplers:
-            self._samplers[name] = ReservoirSampler(self.capacity_per_layer, seed=self._seed)
+            self._samplers[name] = ReservoirSampler(
+                self.capacity_per_layer, seed=self._layer_seed(name)
+            )
+
+    def _layer_seed(self, name: str) -> SeedLike:
+        """Derive a per-layer seed so layers subsample *independently*.
+
+        Handing every layer the same seed would make all reservoirs draw
+        identical acceptance streams (correlated subsampling across layers);
+        deriving a child seed per layer name keeps the overall collection
+        reproducible while decorrelating the layers.
+        """
+        if isinstance(self._seed, np.random.Generator):
+            return int(self._seed.integers(0, 2**63 - 1))
+        base = 0 if self._seed is None else int(self._seed)
+        return derive_seed(base, "collector", name)
 
     def __call__(self, values: np.ndarray) -> None:
         if self._active_layer is None:

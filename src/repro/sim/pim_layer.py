@@ -11,6 +11,26 @@ re-routes inference through the full bit-sliced datapath:
 
 while accumulating per-layer conversion statistics and, optionally, feeding a
 :class:`repro.sim.capture.DistributionCollector` with the raw bit-line values.
+
+Engines
+-------
+The backend executes the crossbar datapath with one of two engines (see the
+:mod:`repro.crossbar.mapping` module docstring for the full contract):
+
+* ``engine="fast"`` (default) — fused cycle/segment kernel with
+  integer-domain LUT conversion.  Relies on the invariant that bit-line
+  values are exact non-negative integers, so LUT-capable ADCs replace float
+  round/clip/compare math with an integer gather plus ``np.bincount``.
+* ``engine="reference"`` — the per-(cycle, segment) Python loop, kept as the
+  verification oracle.
+
+For deterministic converters both engines produce bit-identical outputs and
+identical A/D-operation and region statistics.  When an analog noise model is
+attached, conversions leave the integer domain and the fast engine
+transparently falls back to the element-wise ``convert`` of the
+(noise-wrapped) ADC on the fused blocks; the two engines then consume the
+noise RNG stream in different block orders, so noisy runs agree only
+statistically, not sample for sample.
 """
 
 from __future__ import annotations
@@ -89,7 +109,14 @@ class PimBackend:
         Optional bit-line value collector (paper Fig. 3a / calibration).
     noise:
         Optional analog noise model applied to bit-line values before the ADC.
+    engine:
+        ``"fast"`` (fused kernel + LUT ADCs, default) or ``"reference"``
+        (per-cycle/segment loop oracle).  Outputs and statistics are
+        bit-identical between the two for deterministic converters; noisy
+        runs agree only statistically (see the module docstring).
     """
+
+    _ENGINES = ("fast", "reference")
 
     def __init__(
         self,
@@ -99,8 +126,12 @@ class PimBackend:
         chunk_size: int = 4096,
         collector: Optional[DistributionCollector] = None,
         noise: Optional[NoiseModel] = None,
+        engine: str = "fast",
     ) -> None:
         check_in_range(check_integer(chunk_size, "chunk_size"), "chunk_size", low=1)
+        if engine not in self._ENGINES:
+            raise ValueError(f"unknown engine {engine!r} (expected one of {self._ENGINES})")
+        self.engine = engine
         self.quantized = quantized
         self.topology = topology
         self.chunk_size = int(chunk_size)
@@ -195,14 +226,21 @@ class PimBackend:
         baseline_ops = self.topology.ideal_adc_resolution
 
         prev_r1, prev_r2 = self._region_counters(adc)
-        for start in range(0, rows, self.chunk_size):
-            chunk = input_codes[start : start + self.chunk_size]
-            merged, ops = mapped.matmul(chunk, adc=adc, partial_observer=observer)
-            outputs[start : start + chunk.shape[0]] = merged
-            conversions = chunk.shape[0] * mapped.footprint().conversions_per_mvm
-            stats.mvm_count += chunk.shape[0]
-            stats.conversions += conversions
-            stats.operations += int(ops) if adc is not None else conversions * baseline_ops
+        try:
+            for start in range(0, rows, self.chunk_size):
+                chunk = input_codes[start : start + self.chunk_size]
+                merged, ops = mapped.matmul(
+                    chunk, adc=adc, partial_observer=observer, engine=self.engine
+                )
+                outputs[start : start + chunk.shape[0]] = merged
+                conversions = chunk.shape[0] * mapped.footprint().conversions_per_mvm
+                stats.mvm_count += chunk.shape[0]
+                stats.conversions += conversions
+                stats.operations += int(ops) if adc is not None else conversions * baseline_ops
+        finally:
+            # Scratch buffers are reused across the chunks above; free them so
+            # peak memory is bounded by one layer's working set at a time.
+            mapped.release_scratch()
         new_r1, new_r2 = self._region_counters(adc)
         stats.in_r1 += new_r1 - prev_r1
         stats.in_r2 += new_r2 - prev_r2

@@ -40,6 +40,12 @@ class PimSimulator:
         Crossbar geometry (defaults to the paper's 128×128 / 1-bit setup).
     chunk_size:
         MVMs per inner batch inside the backend (memory knob).
+    engine:
+        Datapath engine: ``"fast"`` (fused cycle/segment kernel with
+        integer-domain LUT ADCs, default) or ``"reference"`` (the
+        per-(cycle, segment) loop kept as verification oracle).  The two are
+        bit-identical in outputs and operation statistics for deterministic
+        converters; runs with a noise model agree only statistically.
     """
 
     def __init__(
@@ -47,10 +53,16 @@ class PimSimulator:
         quantized: QuantizedModel,
         topology: CrossbarTopology = DEFAULT_TOPOLOGY,
         chunk_size: int = 4096,
+        engine: str = "fast",
     ) -> None:
+        if engine not in PimBackend._ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r} (expected one of {PimBackend._ENGINES})"
+            )
         self.quantized = quantized
         self.topology = topology
         self.chunk_size = int(chunk_size)
+        self.engine = engine
 
     # ------------------------------------------------------------------ #
     @property
@@ -81,6 +93,7 @@ class PimSimulator:
             chunk_size=self.chunk_size,
             collector=collector,
             noise=noise,
+            engine=self.engine,
         )
         mvm_layers = find_mvm_layers(model)
         model.eval()
