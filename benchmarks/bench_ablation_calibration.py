@@ -1,17 +1,27 @@
-"""Ablation ``abl-calib``: sensitivity to the calibration-set size.
+"""Ablation ``abl-calib``: sensitivity to the calibration-set size, plus the
+wall-time effect of the fast engine's throughput chunking on the search.
 
 The paper calibrates on 32 randomly selected training images (Section V-A).
-This ablation varies the calibration-set size and records how the resulting
-ADC configuration's accuracy and operation count change.
+The first benchmark varies the calibration-set size and records how the
+resulting ADC configuration's accuracy and operation count change; the
+second pins the PR follow-up that threaded the fast engine's throughput
+chunking defaults into the calibration search — the accuracy oracle that
+dominates Algorithm 1's outer loop must get measurably faster at the
+throughput chunk size than at a small legacy chunk.
 """
 
 from __future__ import annotations
 
+import json
+import time
+
 from conftest import eval_image_count
 
-from repro.core import CoDesignOptimizer, SearchSpaceConfig
+from repro.adc import twin_range_config
+from repro.core import CoDesignOptimizer, SearchSpaceConfig, TRQParams
 from repro.datasets import sample_calibration_set
 from repro.report import ExperimentRecord, format_table
+from repro.sim import PimSimulator
 
 
 def test_ablation_calibration_set_size(benchmark, workloads, results_dir):
@@ -57,3 +67,61 @@ def test_ablation_calibration_set_size(benchmark, workloads, results_dir):
     final = rows[-1]
     assert final["accuracy_drop"] <= 0.25
     assert final["remaining_ops_fraction"] < 0.85
+
+
+#: The oracle wall-time benchmark compares a small per-chunk configuration
+#: against the adaptive throughput chunking (``chunk_size=None``) that the
+#: calibration search now inherits.  Interleaved min-of-N timing keeps the
+#: comparison robust on shared runners, and the reference chunk is small
+#: enough (per-chunk Python/LUT overhead dominated) that the measured
+#: advantage (~1.8x on a laptop-class CPU) clears the floor with margin.
+SMALL_CHUNK = 32
+MIN_ORACLE_SPEEDUP = 1.15
+
+
+def test_calibration_oracle_throughput_chunking(benchmark, workloads, results_dir):
+    """The calibration search's accuracy oracle must be faster under the
+    threaded adaptive throughput chunking than at a small per-chunk
+    configuration (ROADMAP follow-up from the fast-engine PR)."""
+    name, workload = next(iter(workloads.items()))
+    split = workload.eval_split(eval_image_count())
+    params = TRQParams(n_r1=2, n_r2=5, m=3, delta_r1=1.0, bias=0)
+
+    def make_oracle(chunk_size):
+        simulator = PimSimulator(workload.quantized, chunk_size=chunk_size)
+        configs = {n: twin_range_config(params) for n in simulator.layer_names()}
+        oracle = simulator.accuracy_evaluator(split.images, split.labels, batch_size=16)
+        return lambda: oracle(configs)
+
+    runs = {"small": make_oracle(SMALL_CHUNK), "throughput": make_oracle(None)}
+    for run in runs.values():  # warm-up: mapping, LUTs, BLAS paths
+        run()
+    best = {key: float("inf") for key in runs}
+    for _ in range(5):  # interleaved so machine drift hits both equally
+        for key, run in runs.items():
+            start = time.perf_counter()
+            run()
+            best[key] = min(best[key], time.perf_counter() - start)
+    speedup = best["small"] / best["throughput"]
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    benchmark.extra_info["oracle_chunking_speedup"] = speedup
+
+    record = {
+        "experiment": "abl-calib-chunking",
+        "workload": name,
+        "small_chunk": SMALL_CHUNK,
+        "throughput_chunk": "adaptive",
+        "small_chunk_s": best["small"],
+        "throughput_chunk_s": best["throughput"],
+        "speedup": speedup,
+    }
+    with open(results_dir / "ablation_calibration_chunking.json", "w") as handle:
+        json.dump(record, handle, indent=2)
+    print(f"\n  oracle wall-time: chunk {SMALL_CHUNK}: {best['small']*1e3:.1f} ms   "
+          f"adaptive chunking: {best['throughput']*1e3:.1f} ms   {speedup:.2f}x")
+
+    assert speedup >= MIN_ORACLE_SPEEDUP, (
+        f"adaptive throughput chunking speeds the calibration oracle only "
+        f"{speedup:.2f}x over chunk={SMALL_CHUNK} (required {MIN_ORACLE_SPEEDUP}x)"
+    )

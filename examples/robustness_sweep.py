@@ -1,0 +1,119 @@
+"""Robustness quickstart: Monte Carlo accuracy under device non-idealities.
+
+This example walks the noise/robustness workflow end to end:
+
+1. prepare a trained + quantized LeNet-5 workload,
+2. compose a device non-ideality stack from the registry-driven models
+   (read noise, conductance variation, stuck-at faults, retention drift),
+3. verify that the fast and reference engines agree bit for bit under noise
+   (the keyed-sampling guarantee of ``repro.nonideal``),
+4. run Monte Carlo robustness trials (``PimSimulator.run_monte_carlo``) over
+   a small sigma sweep and print mean ± std accuracy with confidence
+   intervals and per-layer degradation statistics.
+
+Run with:  python examples/robustness_sweep.py           (full)
+           python examples/robustness_sweep.py --smoke   (CI-fast)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.adc import twin_range_config  # noqa: E402
+from repro.core import TRQParams  # noqa: E402
+from repro.nonideal import (  # noqa: E402
+    ConductanceVariation,
+    GaussianReadNoise,
+    NonIdealityStack,
+    RetentionDrift,
+    StuckAtFaults,
+    registered_models,
+)
+from repro.sim import PimSimulator  # noqa: E402
+from repro.workloads import prepare_workload  # noqa: E402
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="tiny budgets for CI")
+    args = parser.parse_args()
+
+    if args.smoke:
+        train_size, epochs, images, trials = 128, 6, 8, 2
+        sigmas = (0.0, 0.5)
+    else:
+        train_size, epochs, images, trials = 256, 20, 48, 8
+        sigmas = (0.0, 0.25, 0.5, 1.0)
+
+    print("=== 1. Prepare workload ===")
+    workload = prepare_workload(
+        "lenet5", preset="tiny", train_size=train_size, test_size=max(images, 32),
+        calibration_images=16, epochs=epochs, seed=0,
+        # Shared with benchmarks/ so CI's smoke steps train the workload once.
+        cache_dir=str(Path(__file__).resolve().parent.parent / "benchmarks" / ".cache"),
+    )
+    split = workload.eval_split(images)
+    params = TRQParams(n_r1=2, n_r2=5, m=3, delta_r1=1.0, bias=0)
+    configs = {
+        name: twin_range_config(params)
+        for name in workload.simulator.layer_names()
+    }
+    print(f"registered non-ideality models: {', '.join(registered_models())}")
+
+    print("\n=== 2. Compose a device non-ideality stack ===")
+    stack = NonIdealityStack(
+        [
+            ConductanceVariation(sigma=0.05),
+            StuckAtFaults(rate_on=1e-3, rate_off=1e-3),
+            RetentionDrift(time=24.0, nu=0.03),
+            GaussianReadNoise(sigma=0.5),
+        ],
+        seed=0,
+    )
+    for spec in stack.specs():
+        print(f"  {spec}")
+
+    print("\n=== 3. Fast vs reference engines are bit-identical under noise ===")
+    logits = {}
+    for engine in ("reference", "fast"):
+        sim = PimSimulator(workload.quantized, engine=engine)
+        logits[engine] = sim.evaluate(
+            split.images[:4], split.labels[:4], configs, batch_size=4, noise=stack
+        ).logits
+    identical = np.array_equal(logits["reference"], logits["fast"])
+    print(f"  bit-identical noisy logits: {identical}")
+    assert identical, "keyed sampling broke engine bit-parity"
+
+    print("\n=== 4. Monte Carlo robustness sweep (read-noise sigma) ===")
+    simulator = workload.simulator
+    for sigma in sigmas:
+        sweep_stack = NonIdealityStack(
+            [ConductanceVariation(sigma=0.05), GaussianReadNoise(sigma=sigma)],
+            seed=0,
+        )
+        result = simulator.run_monte_carlo(
+            split.images, split.labels, sweep_stack,
+            adc_configs=configs, trials=trials, batch_size=16, seed=0,
+        )
+        low, high = result.accuracy_ci
+        print(f"  sigma={sigma:4.2f}: acc {result.mean_accuracy:.3f} "
+              f"± {result.std_accuracy:.3f} (CI [{low:.3f}, {high:.3f}]), "
+              f"drop {result.mean_accuracy_drop:+.3f}, "
+              f"flips {result.mean_flip_rate:.3f}")
+
+    print("\n=== 5. Per-layer degradation (last sweep point) ===")
+    for name, layer in result.layer_stats.items():
+        print(f"  {name:14s} remaining-ops {layer.clean_remaining_fraction:.3f} "
+              f"-> {layer.mean_remaining_fraction:.3f} ± {layer.std_remaining_fraction:.3f}   "
+              f"R1-share {layer.clean_r1_fraction:.3f} -> "
+              f"{layer.mean_r1_fraction:.3f} ± {layer.std_r1_fraction:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -11,8 +11,11 @@ The package is organised bottom-up:
 * :mod:`repro.core` -- the paper's contribution: Twin Range Quantization,
   bit-line distribution analysis and the algorithm-hardware co-design search
   (Algorithm 1).
+* :mod:`repro.nonideal` -- composable, registry-driven device non-ideality
+  models with counter-based keyed sampling (bit-identical across engines).
 * :mod:`repro.arch`, :mod:`repro.sim` -- ISAAC-style accelerator model and the
-  end-to-end PIM simulator used by the evaluation benchmarks.
+  end-to-end PIM simulator used by the evaluation benchmarks, including
+  Monte Carlo robustness runs (``PimSimulator.run_monte_carlo``).
 * :mod:`repro.report` -- tabulation helpers that regenerate the paper's
   figures as text series.
 * :mod:`repro.workloads` -- one-call preparation of the paper's four
@@ -34,13 +37,15 @@ paper-vs-measured results.
 
 from repro.core.co_design import CoDesignOptimizer, CoDesignResult
 from repro.core.trq import TRQParams, twin_range_quantize
+from repro.nonideal import NonIdealityStack
 from repro.workloads import PreparedWorkload, prepare_all_workloads, prepare_workload
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CoDesignOptimizer",
     "CoDesignResult",
+    "NonIdealityStack",
     "PreparedWorkload",
     "TRQParams",
     "__version__",

@@ -93,6 +93,37 @@ class AdcTransferLut:
         return self.values.size - 1
 
 
+def compose_transfer_lut(lut: AdcTransferLut, value_map: np.ndarray) -> AdcTransferLut:
+    """Fold an integer value→value perturbation into a transfer LUT.
+
+    ``value_map[v]`` is the perturbed bit-line value an ideal input ``v``
+    actually presents to the converter (e.g. retention drift re-quantized to
+    the level grid, see :mod:`repro.nonideal`).  The composed LUT indexed by
+    the *ideal* value produces exactly what converting the perturbed value
+    through ``lut`` would — output, operation cost, region decision — so the
+    fast engine applies discrete non-idealities at zero per-element cost
+    while the reference engine perturbs each block explicitly; the two stay
+    bit-identical because ``value_map`` equals the model's ``perturb`` on
+    every integer.
+    """
+    value_map = np.asarray(value_map, dtype=np.int64)
+    if value_map.size and (
+        value_map.min() < 0 or value_map.max() > lut.max_value
+    ):
+        raise ValueError(
+            f"value_map range [{value_map.min()}, {value_map.max()}] exceeds "
+            f"the LUT domain [0, {lut.max_value}]"
+        )
+    return AdcTransferLut(
+        values=lut.values[value_map],
+        ops_per_value=lut.ops_per_value[value_map],
+        levels=None if lut.levels is None else lut.levels[value_map],
+        scale=lut.scale,
+        in_r1=None if lut.in_r1 is None else lut.in_r1[value_map],
+        detection_ops=lut.detection_ops,
+    )
+
+
 class LutConversionMixin:
     """Adds cached integer-code conversion to a vectorised ADC model.
 

@@ -120,6 +120,13 @@ class CoDesignOptimizer:
         search's accuracy oracle (the paper uses 32 training images).
     search_space, accuracy_threshold, ...:
         Forwarded to :class:`TwinRangeCalibrator`.
+    chunk_size:
+        MVMs per inner chunk of the simulator backing the accuracy oracle.
+        ``None`` (default) selects the fast engine's adaptive per-layer
+        throughput chunking
+        (:func:`repro.sim.pim_layer.throughput_chunk_size`), which is what
+        makes the outer accuracy-constrained loop of Algorithm 1 — one full
+        evaluation per candidate ``Nmax`` — cheap enough to leave enabled.
     """
 
     def __init__(
@@ -131,7 +138,7 @@ class CoDesignOptimizer:
         accuracy_threshold: float = 0.01,
         min_n_max: int = 2,
         max_samples_per_layer: int = 16384,
-        chunk_size: int = 4096,
+        chunk_size: Optional[int] = None,
         distribution_capacity: int = 50_000,
         seed: int = 0,
     ) -> None:

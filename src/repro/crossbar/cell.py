@@ -13,6 +13,7 @@ attributes all error to ADC quantization.
 from __future__ import annotations
 
 import dataclasses
+import warnings
 from typing import Optional
 
 import numpy as np
@@ -33,9 +34,14 @@ class CellConfig:
         On/off conductance in Siemens; defaults follow the ~µS-range devices
         of [19] with an on/off ratio of 50.
     programming_sigma:
-        Relative log-normal programming variation (0 disables it).
+        Relative log-normal programming variation (0 disables it).  For
+        datapath simulations this knob is realised by
+        ``repro.nonideal.NonIdealityStack.from_cell_config``, which maps it
+        to a keyed :class:`~repro.nonideal.ConductanceVariation` model.
     read_noise_sigma:
-        Relative additive Gaussian read noise per access (0 disables it).
+        Relative additive Gaussian read noise per access (0 disables it);
+        mapped to a relative :class:`~repro.nonideal.GaussianReadNoise` by
+        ``from_cell_config``.
     """
 
     bits_per_cell: int = 1
@@ -73,9 +79,34 @@ DEFAULT_CELL_CONFIG = CellConfig()
 
 
 class ReRAMCellModel:
-    """Maps cell codes to conductances and back, with optional non-idealities."""
+    """Maps cell codes to conductances and back, with optional non-idealities.
 
-    def __init__(self, config: CellConfig = DEFAULT_CELL_CONFIG, rng: SeedLike = None) -> None:
+    .. deprecated:: the stochastic knobs
+        The ``programming_sigma`` / ``read_noise_sigma`` code paths here are
+        superseded for datapath simulations by :mod:`repro.nonideal`
+        (``NonIdealityStack.from_cell_config(config)``), whose counter-based
+        keyed sampling keeps the fast and reference engines bit-identical.
+        This model's internal RNG remains only for the standalone
+        :class:`repro.crossbar.array.CrossbarArray` analog mode.
+    """
+
+    def __init__(
+        self,
+        config: CellConfig = DEFAULT_CELL_CONFIG,
+        rng: SeedLike = None,
+        warn_deprecated: bool = True,
+    ) -> None:
+        if warn_deprecated and not config.is_ideal:
+            warnings.warn(
+                "for MVM-datapath simulations, ReRAMCellModel's "
+                "programming_sigma/read_noise_sigma never take effect; build "
+                "the equivalent keyed models with "
+                "repro.nonideal.NonIdealityStack.from_cell_config(config) and "
+                "pass them to the simulator's noise= argument. (The standalone "
+                "CrossbarArray analog mode still honours these knobs.)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         self.config = config
         self._rng = new_rng(rng)
 

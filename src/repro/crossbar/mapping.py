@@ -42,8 +42,21 @@ accumulation is exact in *any* order.  Both engines therefore compute the
 same exact integers, scale them once per output, and produce bit-identical
 results with identical operation counts (asserted by the test suite and by
 ``benchmarks/bench_engine_fastpath.py``).  Converters without a level grid
-(e.g. the non-uniform baseline, or noise-wrapped ADCs) take an element-wise
-fallback inside the fused kernel that replays the reference merge order.
+(e.g. the non-uniform baseline) take an element-wise fallback inside the
+fused kernel that replays the reference merge semantics.
+
+Device non-idealities (the optional ``noise`` argument, a
+:class:`repro.nonideal.stack.LayerNoiseState`) perturb the raw bit-line
+blocks before conversion.  Because every perturbation is a *keyed,
+counter-based* function of the block's logical coordinates (chunk, segment,
+input cycle) rather than a shared RNG stream, both engines reconstruct the
+same noise sample for sample and remain bit-identical under noise.
+Integer-domain perturbations (stuck-at faults, quantized variation,
+retention drift) keep the fused LUT conversion path — pure per-value maps
+are even folded into the transfer LUT itself
+(:func:`repro.adc.lut.compose_transfer_lut`) — while continuous
+perturbations (read noise, analog variation, IR drop) route the fused
+kernel through the element-wise fallback.
 
 Observable differences are limited to the optional ``partial_observer``: the
 reference engine emits blocks cycle-major, the fast engine segment-major
@@ -59,6 +72,7 @@ from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
+from repro.adc.lut import compose_transfer_lut
 from repro.crossbar.slicing import (
     num_slices,
     slice_inputs_temporal,
@@ -267,6 +281,7 @@ class MappedMVMLayer:
         adc: Optional[object] = None,
         partial_observer: Optional[Callable[[np.ndarray], None]] = None,
         engine: str = "reference",
+        noise: Optional[object] = None,
     ) -> Tuple[np.ndarray, int]:
         """Execute the full bit-sliced MVM for a batch of input vectors.
 
@@ -281,12 +296,17 @@ class MappedMVMLayer:
             count assumes the baseline ``RADC`` operations per conversion.
         partial_observer:
             Optional callable receiving every raw bit-line block (used to
-            capture the value distributions of paper Fig. 3a).
+            capture the value distributions of paper Fig. 3a).  Observers see
+            the *ideal* (pre-noise) values.
         engine:
             ``"reference"`` (per-cycle/segment loop, the oracle) or ``"fast"``
             (fused cycles + integer-domain LUT conversion).  Both produce
             bit-identical results and identical operation counts; see the
             module docstring.
+        noise:
+            Optional :class:`repro.nonideal.stack.LayerNoiseState` bound to
+            this layer.  Perturbations are keyed on (chunk, segment, cycle),
+            so both engines apply identical noise and stay bit-identical.
 
         Returns
         -------
@@ -304,9 +324,9 @@ class MappedMVMLayer:
             cycles = slice_inputs_temporal(
                 input_codes, self.quant_config.activation_bits, self.topology.dac_bits
             )
-            return self._matmul_reference(cycles, adc, partial_observer)
+            return self._matmul_reference(cycles, adc, partial_observer, noise)
         if engine == "fast":
-            return self._matmul_fast(input_codes, adc, partial_observer)
+            return self._matmul_fast(input_codes, adc, partial_observer, noise)
         raise ValueError(f"unknown engine {engine!r} (expected 'fast' or 'reference')")
 
     def _stack_cycles(self, input_codes: np.ndarray) -> np.ndarray:
@@ -346,6 +366,7 @@ class MappedMVMLayer:
         cycles: np.ndarray,
         adc: Optional[object],
         partial_observer: Optional[Callable[[np.ndarray], None]],
+        noise: Optional[object] = None,
     ) -> Tuple[np.ndarray, int]:
         """The per-``(cycle, segment)`` block loop (oracle path).
 
@@ -356,7 +377,9 @@ class MappedMVMLayer:
         reproduce.  For level-grid converters the loop merges integer levels
         and applies the step scale once per output — the integer-domain
         semantics of the datapath — which can differ from scaling each
-        reconstructed value individually by ~1 ulp per sample.
+        reconstructed value individually by ~1 ulp per sample.  Noise, when
+        given, perturbs each raw block after the observer and before
+        conversion, via the keyed sampling that both engines share.
         """
         batch = cycles.shape[1]
         accumulator = np.zeros((batch, self.out_features), dtype=np.float64)
@@ -372,6 +395,8 @@ class MappedMVMLayer:
                 partials = self.bitline_partials(cycle_slice, segment_index)
                 if partial_observer is not None:
                     partial_observer(partials)
+                if noise is not None:
+                    partials = noise.perturb_block(partials, segment_index, cycle_index)
                 if adc is None:
                     total_ops += partials.size * baseline_ops
                 elif convert_levels is not None:
@@ -394,6 +419,7 @@ class MappedMVMLayer:
         input_codes: np.ndarray,
         adc: Optional[object],
         partial_observer: Optional[Callable[[np.ndarray], None]],
+        noise: Optional[object] = None,
     ) -> Tuple[np.ndarray, int]:
         """Fused kernel: one matmul per segment, integer-domain conversion.
 
@@ -406,9 +432,15 @@ class MappedMVMLayer:
         every partial sum exact integer arithmetic in float64 — bit-identical
         to the reference loop regardless of summation order.  Exact operation
         and region totals come from ``np.bincount`` on the same codes.
-        Converters without a level grid (e.g. noise-wrapped ones) fall back
-        to their element-wise ``convert`` on the fused block with the
-        reference engine's merge order.
+        Converters without a level grid (e.g. the non-uniform baseline) fall
+        back to element-wise conversion on the fused block with the
+        reference engine's merge semantics.
+
+        Integer-domain noise keeps this path: pure per-value maps are folded
+        into the transfer LUT (zero per-element cost), column-dependent
+        integer perturbations are applied per (cycle, segment) block before
+        the gather with the LUT sized to the perturbed bound.  Continuous
+        noise leaves the integer domain and routes through the fallback.
 
         Blocks handed to ``partial_observer`` are transient views into a
         reused buffer — observers must copy what they keep (the distribution
@@ -416,39 +448,74 @@ class MappedMVMLayer:
         """
         num_cycles, batch = self.num_input_cycles, input_codes.shape[0]
         stacked = self._stack_cycles(input_codes)
+        integer_noise = noise is None or noise.integer_domain
         lut = None
+        value_mapped = False
         if adc is not None:
             transfer_lut = getattr(adc, "transfer_lut", None)
-            if transfer_lut is not None:
-                lut = transfer_lut(self._max_bitline)
-                if lut.levels is None:
+            if transfer_lut is not None and integer_noise:
+                if noise is None:
+                    lut = transfer_lut(self._max_bitline)
+                else:
+                    vmap = noise.pure_value_map()
+                    if vmap is not None:
+                        lut = transfer_lut(int(vmap.max(initial=0)))
+                        if lut.levels is not None:
+                            lut = compose_transfer_lut(lut, vmap)
+                            value_mapped = True
+                    else:
+                        lut = transfer_lut(noise.lut_bound)
+                if lut is not None and lut.levels is None:
                     lut = None
             if lut is None:
-                return self._matmul_fast_fallback(stacked, num_cycles, batch, adc, partial_observer)
+                return self._matmul_fast_fallback(
+                    stacked, num_cycles, batch, adc, partial_observer, noise
+                )
+        elif not integer_noise:
+            # Ideal conversion under continuous noise merges floats, where
+            # summation order matters; replay the reference order.
+            return self._matmul_fast_fallback(
+                stacked, num_cycles, batch, None, partial_observer, noise
+            )
 
+        perturb_blocks = noise is not None and not value_mapped
         total_ops = 0
         cols = 2 * self.num_weight_planes * self.out_features
         block_shape = (num_cycles, batch, 2 * self.num_weight_planes, self.out_features)
         fused_factors = self._fused_factors.reshape(num_cycles, -1)
         accumulator = np.zeros((batch, self.out_features), dtype=np.float64)
         partials_buf = self._fast_buffer("partials", (num_cycles * batch, cols), np.float32)
+        if perturb_blocks:
+            noisy_buf = self._fast_buffer("noisy", (num_cycles * batch, cols), np.float64)
         if lut is not None:
             counts = np.zeros(lut.values.size, dtype=np.int64)
             levels_buf = self._fast_buffer(
                 "levels", (num_cycles * batch, cols), lut.levels.dtype
             )
 
-        for segment in self._segments:
+        for segment_index, segment in enumerate(self._segments):
             np.matmul(stacked[:, segment], self._plane_matrix[segment], out=partials_buf)
             if partial_observer is not None:
                 blocks = partials_buf.reshape(num_cycles, batch, cols)
                 for cycle_index in range(num_cycles):
                     partial_observer(blocks[cycle_index])
+            if perturb_blocks:
+                # Same keyed draws as the reference loop's per-block calls.
+                raw = partials_buf.reshape(num_cycles, batch, cols)
+                noisy = noisy_buf.reshape(num_cycles, batch, cols)
+                for cycle_index in range(num_cycles):
+                    np.copyto(
+                        noisy[cycle_index],
+                        noise.perturb_block(raw[cycle_index], segment_index, cycle_index),
+                    )
+                conversion_source = noisy_buf
+            else:
+                conversion_source = partials_buf
             if lut is None:
                 total_ops += partials_buf.size * self.topology.ideal_adc_resolution
-                merged_source = partials_buf
+                merged_source = conversion_source
             else:
-                flat_partials = partials_buf.reshape(-1)
+                flat_partials = conversion_source.reshape(-1)
                 flat_levels = levels_buf.reshape(-1)
                 for start in range(0, flat_partials.size, self._FAST_TILE):
                     stop = min(start + self._FAST_TILE, flat_partials.size)
@@ -484,41 +551,63 @@ class MappedMVMLayer:
         stacked: np.ndarray,
         num_cycles: int,
         batch: int,
-        adc: object,
+        adc: Optional[object],
         partial_observer: Optional[Callable[[np.ndarray], None]],
+        noise: Optional[object] = None,
     ) -> Tuple[np.ndarray, int]:
-        """Fused-GEMM path for converters without an integer level grid.
+        """Fused-GEMM path for element-wise (non-LUT) conversion.
 
-        The element-wise ``convert`` runs on the whole stacked block (same
-        values as per-block conversion) and the per-(cycle, segment) merge
-        contributions are accumulated in exactly the reference order, so the
-        result matches the loop path bit for bit whenever the converter is
-        deterministic.  Replaying that order requires holding all
-        ``cycles × segments`` merged ``(batch, out)`` contributions before
-        the final accumulation — at large ``chunk_size`` this path (noise
-        models, non-uniform grids) trades memory for bit-parity; shrink the
-        chunk if that matters.
+        One matmul per segment is kept; conversion and noise run per
+        (cycle, segment) block — the same blocks, values and keyed noise
+        draws as the reference loop — so the result matches the loop path
+        bit for bit whenever the converter is deterministic.  Converters
+        with an integer level grid merge integer levels (scale applied once
+        per output), which is order-free exact arithmetic and is accumulated
+        directly.  Converters without one (and ideal conversion of
+        continuous-noise floats) merge floats, where order matters: their
+        ``cycles × segments`` contributions are replayed in the reference
+        order, trading memory for bit-parity at large ``chunk_size`` —
+        shrink the chunk if that matters.
         """
         total_ops = 0
+        baseline_ops = self.topology.ideal_adc_resolution
+        convert_levels = getattr(adc, "convert_levels", None) if adc is not None else None
+        scale = float(adc.level_scale) if convert_levels is not None else 1.0
+        # Integer levels merge exactly in any order; float merges replay the
+        # reference (cycle-major) accumulation order.
+        preserve_order = convert_levels is None
+        accumulator = np.zeros((batch, self.out_features), dtype=np.float64)
         contributions: List[List[np.ndarray]] = [[] for _ in range(num_cycles)]
-        for segment in self._segments:
+        for segment_index, segment in enumerate(self._segments):
             partials = stacked[:, segment] @ self._plane_matrix[segment]
+            blocks = partials.reshape(num_cycles, batch, -1)
             if partial_observer is not None:
-                blocks = partials.reshape(num_cycles, batch, -1)
                 for cycle_index in range(num_cycles):
                     partial_observer(blocks[cycle_index])
-            quantized, ops = adc.convert(partials)
-            total_ops += int(ops)
-            quantized = np.asarray(quantized).reshape(num_cycles, batch, -1)
             for cycle_index in range(num_cycles):
+                block = blocks[cycle_index]
+                if noise is not None:
+                    block = noise.perturb_block(block, segment_index, cycle_index)
+                if adc is None:
+                    quantized = block
+                    total_ops += block.size * baseline_ops
+                elif convert_levels is not None:
+                    quantized, ops = convert_levels(block)
+                    total_ops += int(ops)
+                else:
+                    quantized, ops = adc.convert(block)
+                    total_ops += int(ops)
                 cycle_factor = float(1 << (cycle_index * self.topology.dac_bits))
-                contributions[cycle_index].append(
-                    cycle_factor * self.merge_partials(quantized[cycle_index])
-                )
-        accumulator = np.zeros((batch, self.out_features), dtype=np.float64)
+                contribution = cycle_factor * self.merge_partials(quantized)
+                if preserve_order:
+                    contributions[cycle_index].append(contribution)
+                else:
+                    accumulator += contribution
         for per_cycle in contributions:
             for contribution in per_cycle:
                 accumulator += contribution
+        if scale != 1.0:
+            accumulator *= scale
         return accumulator, total_ops
 
     def _fast_buffer(self, name: str, shape: Tuple[int, int], dtype) -> np.ndarray:

@@ -1,0 +1,68 @@
+"""Registry of device non-ideality models.
+
+Models register themselves by class decorator; specs (plain dicts with a
+``"model"`` key naming the registered class plus its constructor parameters)
+round-trip through :func:`build_model` / :meth:`NonIdealityModel.spec`, which
+is what lets benchmark configurations, Monte Carlo sweeps and saved
+experiment records describe noise setups as data.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Tuple, Type
+
+from repro.nonideal.base import NonIdealityModel
+
+_REGISTRY: Dict[str, Type[NonIdealityModel]] = {}
+
+
+def register_model(cls: Type[NonIdealityModel]) -> Type[NonIdealityModel]:
+    """Class decorator adding ``cls`` to the registry under ``cls.name``."""
+    name = getattr(cls, "name", "")
+    if not name:
+        raise ValueError(f"{cls.__name__} must define a non-empty 'name'")
+    existing = _REGISTRY.get(name)
+    if existing is not None and existing is not cls:
+        raise ValueError(
+            f"non-ideality model name {name!r} is already registered "
+            f"by {existing.__name__}"
+        )
+    _REGISTRY[name] = cls
+    return cls
+
+
+def registered_models() -> Tuple[str, ...]:
+    """Names of every registered model, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def model_class(name: str) -> Type[NonIdealityModel]:
+    """The registered class for ``name`` (raises ``KeyError`` with hints)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown non-ideality model {name!r}; registered models: "
+            f"{', '.join(registered_models()) or '(none)'}"
+        ) from None
+
+
+def build_model(spec: Mapping[str, object]) -> NonIdealityModel:
+    """Instantiate a model from its spec dict (inverse of ``model.spec()``)."""
+    spec = dict(spec)
+    try:
+        name = spec.pop("model")
+    except KeyError:
+        raise ValueError(f"model spec {spec!r} is missing the 'model' key") from None
+    return model_class(str(name))(**spec)
+
+
+def build_models(specs) -> List[NonIdealityModel]:
+    """Instantiate a list of models from specs (or pass instances through)."""
+    models = []
+    for spec in specs:
+        if isinstance(spec, NonIdealityModel):
+            models.append(spec)
+        else:
+            models.append(build_model(spec))
+    return models

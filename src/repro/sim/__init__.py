@@ -2,16 +2,31 @@
 
 from repro.sim.capture import DistributionCollector, ReservoirSampler
 from repro.sim.fidelity import GaussianReadNoise, NoNoise, ProportionalConductanceNoise
-from repro.sim.pim_layer import PimBackend
+from repro.sim.pim_layer import (
+    MAX_CHUNK_SIZE,
+    MIN_CHUNK_SIZE,
+    PimBackend,
+    throughput_chunk_size,
+)
 from repro.sim.simulator import PimSimulator
-from repro.sim.stats import LayerSimStats, SimulationResult
+from repro.sim.stats import (
+    LayerRobustnessStats,
+    LayerSimStats,
+    MonteCarloResult,
+    SimulationResult,
+)
 
 __all__ = [
     "DistributionCollector",
     "GaussianReadNoise",
+    "LayerRobustnessStats",
     "LayerSimStats",
+    "MAX_CHUNK_SIZE",
+    "MIN_CHUNK_SIZE",
+    "MonteCarloResult",
     "NoNoise",
     "PimBackend",
+    "throughput_chunk_size",
     "PimSimulator",
     "ProportionalConductanceNoise",
     "ReservoirSampler",

@@ -1,73 +1,88 @@
-"""Optional analog non-ideality injection for the PIM datapath.
+"""Deprecated analog-noise shims (superseded by :mod:`repro.nonideal`).
 
-The paper's evaluation assumes an ideal analog front end (all accuracy loss
-comes from ADC quantization), but reviewers of ReRAM work routinely ask how
-robust a scheme is to analog noise.  The simulator therefore accepts a noise
-model applied to the raw bit-line values *before* A/D conversion; the default
-is no noise.
+This module used to hold the simulator's two ad-hoc noise models.  They kept
+a shared mutable RNG, so the fast and reference engines — which traverse
+bit-line blocks in different orders — consumed the stream differently and
+noisy runs agreed only statistically.  The classes below are retained as
+thin shims over the counter-based keyed models in :mod:`repro.nonideal`
+(construction emits a :class:`DeprecationWarning`): they keep the old
+constructor signatures and the old one-shot ``apply(values)`` behaviour, but
+passing them to the simulator now routes through the keyed subsystem, so
+noisy runs are **bit-identical** across engines.
+
+New code should use :mod:`repro.nonideal` directly::
+
+    from repro.nonideal import GaussianReadNoise, NonIdealityStack
+    stack = NonIdealityStack([GaussianReadNoise(sigma=0.5)], seed=0)
 """
 
 from __future__ import annotations
 
-import dataclasses
-from typing import Optional, Protocol
+import warnings
+from typing import Protocol
 
 import numpy as np
 
-from repro.utils.rng import SeedLike, new_rng
-from repro.utils.validation import check_in_range
+from repro.nonideal import models as _models
+from repro.utils.rng import SeedLike
+
+__all__ = ["GaussianReadNoise", "NoNoise", "NoiseModel", "ProportionalConductanceNoise"]
 
 
 class NoiseModel(Protocol):
-    """Anything that perturbs an array of bit-line values."""
+    """Anything that perturbs an array of bit-line values (legacy protocol)."""
 
     def apply(self, values: np.ndarray) -> np.ndarray:
         ...  # pragma: no cover - protocol definition
 
 
-@dataclasses.dataclass
+def _warn(old: str, new: str) -> None:
+    warnings.warn(
+        f"repro.sim.fidelity.{old} is deprecated; use repro.nonideal.{new} "
+        "(composable via NonIdealityStack, bit-identical across engines)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def _as_seed(seed: SeedLike) -> int:
+    if isinstance(seed, np.random.Generator):
+        return int(seed.integers(0, 2**63 - 1))
+    return 0 if seed is None else int(seed)
+
+
 class NoNoise:
-    """The default, ideal front end."""
+    """The default, ideal front end (identity; kept for API compatibility)."""
 
     def apply(self, values: np.ndarray) -> np.ndarray:
         return values
 
 
-class GaussianReadNoise:
-    """Additive Gaussian noise on bit-line values (in level units).
+class GaussianReadNoise(_models.GaussianReadNoise):
+    """Deprecated alias of :class:`repro.nonideal.GaussianReadNoise`.
 
-    ``sigma_levels`` is the standard deviation expressed in full-precision
-    LSBs; 0.5 roughly corresponds to thermal/readout noise of half an LSB.
+    ``sigma_levels`` is the standard deviation in full-precision LSBs.  The
+    ``seed`` becomes the stack base seed when the model is handed to the
+    simulator, so old call sites keep their reproducibility semantics.
     """
 
     def __init__(self, sigma_levels: float, seed: SeedLike = None) -> None:
-        check_in_range(sigma_levels, "sigma_levels", low=0.0)
-        self.sigma_levels = float(sigma_levels)
-        self._rng = new_rng(seed)
-
-    def apply(self, values: np.ndarray) -> np.ndarray:
-        if self.sigma_levels == 0.0:
-            return values
-        noise = self._rng.normal(0.0, self.sigma_levels, size=values.shape)
-        # Bit-line values are physically non-negative.
-        return np.maximum(values + noise, 0.0)
+        _warn("GaussianReadNoise", "GaussianReadNoise")
+        super().__init__(sigma=sigma_levels)
+        self.sigma_levels = self.sigma
+        self.seed = _as_seed(seed)
 
 
-class ProportionalConductanceNoise:
-    """Multiplicative noise modelling cell-conductance variation.
+class ProportionalConductanceNoise(_models.ConductanceVariation):
+    """Deprecated alias of :class:`repro.nonideal.ConductanceVariation`.
 
-    Each bit-line value is scaled by ``1 + ε`` with ``ε ~ N(0, sigma)``; this
-    approximates the aggregate effect of per-cell programming variation on
-    the summed current without simulating each cell.
+    The old model rescaled every value by ``1 + N(0, σ)`` with a fresh draw
+    per access; the keyed replacement draws log-normal per-column factors
+    fixed at programming time — the physically faithful reading of
+    conductance variation, and statistically equivalent at small ``σ``.
     """
 
     def __init__(self, sigma: float, seed: SeedLike = None) -> None:
-        check_in_range(sigma, "sigma", low=0.0)
-        self.sigma = float(sigma)
-        self._rng = new_rng(seed)
-
-    def apply(self, values: np.ndarray) -> np.ndarray:
-        if self.sigma == 0.0:
-            return values
-        factor = 1.0 + self._rng.normal(0.0, self.sigma, size=values.shape)
-        return np.maximum(values * factor, 0.0)
+        _warn("ProportionalConductanceNoise", "ConductanceVariation")
+        super().__init__(sigma=sigma)
+        self.seed = _as_seed(seed)

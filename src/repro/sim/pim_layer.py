@@ -6,8 +6,9 @@ so attaching it to a model's MVM layers (``layer.compute_backend = backend``)
 re-routes inference through the full bit-sliced datapath:
 
     quantize inputs → im2col → temporal input slicing → per-segment bit-line
-    partial sums → ADC conversion (uniform / twin-range / ideal) →
-    shift-and-add merge → dequantize → bias add
+    partial sums → device non-idealities (optional) → ADC conversion
+    (uniform / twin-range / ideal) → shift-and-add merge → dequantize →
+    bias add
 
 while accumulating per-layer conversion statistics and, optionally, feeding a
 :class:`repro.sim.capture.DistributionCollector` with the raw bit-line values.
@@ -24,13 +25,13 @@ The backend executes the crossbar datapath with one of two engines (see the
 * ``engine="reference"`` — the per-(cycle, segment) Python loop, kept as the
   verification oracle.
 
-For deterministic converters both engines produce bit-identical outputs and
-identical A/D-operation and region statistics.  When an analog noise model is
-attached, conversions leave the integer domain and the fast engine
-transparently falls back to the element-wise ``convert`` of the
-(noise-wrapped) ADC on the fused blocks; the two engines then consume the
-noise RNG stream in different block orders, so noisy runs agree only
-statistically, not sample for sample.
+Both engines produce bit-identical outputs and identical A/D-operation and
+region statistics — including under device noise: non-ideality models from
+:mod:`repro.nonideal` draw every perturbation from counter-based keyed
+streams (per layer / chunk / segment / cycle), so the engines reconstruct
+identical noise despite traversing blocks in different orders.  Only legacy
+``apply``-protocol noise objects (wrapped with a deprecation warning) retain
+the old statistical-only agreement.
 """
 
 from __future__ import annotations
@@ -44,48 +45,38 @@ from repro.adc.trq import build_adc
 from repro.crossbar.mapping import DEFAULT_TOPOLOGY, CrossbarTopology, MappedMVMLayer
 from repro.nn import functional as F
 from repro.nn.layers import Conv2d, Linear
+from repro.nonideal.stack import LayerNoiseState, NonIdealityStack, as_stack
 from repro.quantization.ptq import QuantizedModel, find_mvm_layers
 from repro.sim.capture import DistributionCollector
-from repro.sim.fidelity import NoiseModel, NoNoise
+from repro.sim.fidelity import NoNoise
 from repro.sim.stats import LayerSimStats
 from repro.utils.validation import check_in_range, check_integer
 
+#: Bounds of the fast engine's throughput chunking (``chunk_size=None``).
+#: The sweet spot is workload-dependent: per-chunk Python/LUT overhead argues
+#: for large chunks, while the fused kernel's scratch buffers
+#: (``cycles · chunk × columns``) must stay cache-resident or the per-segment
+#: matmul and gather turn memory-bound.  The adaptive default below holds the
+#: scratch footprint near ``_CHUNK_ELEMENT_BUDGET`` elements, clamped to
+#: these bounds — measured faster than any fixed chunk across the LeNet
+#: layer shapes (see ``bench_ablation_calibration.py``).
+MAX_CHUNK_SIZE = 16_384
+MIN_CHUNK_SIZE = 512
+_CHUNK_ELEMENT_BUDGET = 1 << 21
 
-class _IdealAdc:
-    """Pass-through converter used when a layer has no ADC configuration.
 
-    It keeps the values untouched and charges the full-resolution baseline
-    operation count, so ideal runs still produce meaningful Eq. 3 statistics.
+def throughput_chunk_size(num_input_cycles: int, total_columns: int) -> int:
+    """The fast engine's throughput chunk for one mapped layer's geometry.
+
+    Chosen so the fused kernel's per-chunk scratch (``cycles · chunk ×
+    columns`` partials plus the level/noise gather buffers) stays within the
+    element budget; wide conv layers get smaller chunks, narrow FC layers the
+    maximum.  Used wherever ``chunk_size=None`` is passed — in particular by
+    the calibration search's accuracy oracle, whose wall-time is dominated by
+    these chunks.
     """
-
-    def __init__(self, baseline_ops: int) -> None:
-        self.baseline_ops = int(baseline_ops)
-
-    def convert(self, values: np.ndarray) -> Tuple[np.ndarray, int]:
-        return values, values.size * self.baseline_ops
-
-    def reset_stats(self) -> None:  # pragma: no cover - nothing to reset
-        pass
-
-
-class _NoisyAdcWrapper:
-    """Applies an analog noise model to bit-line values before conversion."""
-
-    def __init__(self, adc, noise: NoiseModel) -> None:
-        self._adc = adc
-        self._noise = noise
-
-    @property
-    def stats(self):
-        return getattr(self._adc, "stats", None)
-
-    def convert(self, values: np.ndarray) -> Tuple[np.ndarray, int]:
-        return self._adc.convert(self._noise.apply(values))
-
-    def reset_stats(self) -> None:
-        reset = getattr(self._adc, "reset_stats", None)
-        if reset is not None:
-            reset()
+    per_row = max(1, int(num_input_cycles) * int(total_columns))
+    return max(MIN_CHUNK_SIZE, min(MAX_CHUNK_SIZE, _CHUNK_ELEMENT_BUDGET // per_row))
 
 
 class PimBackend:
@@ -104,16 +95,22 @@ class PimBackend:
         full-resolution baseline.
     chunk_size:
         Number of MVMs (output positions) processed per inner batch; bounds
-        peak memory for large feature maps.
+        peak memory for large feature maps.  ``None`` (default) selects the
+        adaptive per-layer throughput chunking
+        (:func:`throughput_chunk_size`).
     collector:
         Optional bit-line value collector (paper Fig. 3a / calibration).
+        Observers always see the ideal (pre-noise) values.
     noise:
-        Optional analog noise model applied to bit-line values before the ADC.
+        Optional device non-idealities applied to bit-line values before
+        conversion: a :class:`repro.nonideal.NonIdealityStack`, a single
+        model, a list of models/spec dicts, or a legacy ``apply``-protocol
+        object (deprecated).
     engine:
         ``"fast"`` (fused kernel + LUT ADCs, default) or ``"reference"``
         (per-cycle/segment loop oracle).  Outputs and statistics are
-        bit-identical between the two for deterministic converters; noisy
-        runs agree only statistically (see the module docstring).
+        bit-identical between the two, with or without noise (legacy noise
+        objects excepted; see the module docstring).
     """
 
     _ENGINES = ("fast", "reference")
@@ -123,20 +120,23 @@ class PimBackend:
         quantized: QuantizedModel,
         topology: CrossbarTopology = DEFAULT_TOPOLOGY,
         adc_configs: Optional[Dict[str, AdcConfig]] = None,
-        chunk_size: int = 4096,
+        chunk_size: Optional[int] = None,
         collector: Optional[DistributionCollector] = None,
-        noise: Optional[NoiseModel] = None,
+        noise=None,
         engine: str = "fast",
     ) -> None:
-        check_in_range(check_integer(chunk_size, "chunk_size"), "chunk_size", low=1)
+        if chunk_size is not None:
+            check_in_range(check_integer(chunk_size, "chunk_size"), "chunk_size", low=1)
         if engine not in self._ENGINES:
             raise ValueError(f"unknown engine {engine!r} (expected one of {self._ENGINES})")
         self.engine = engine
         self.quantized = quantized
         self.topology = topology
-        self.chunk_size = int(chunk_size)
+        self.chunk_size = None if chunk_size is None else int(chunk_size)
         self.collector = collector
-        self.noise = noise if noise is not None else NoNoise()
+        if isinstance(noise, NoNoise):
+            noise = None
+        self.noise: Optional[NonIdealityStack] = as_stack(noise)
         self._adc_configs = dict(adc_configs) if adc_configs else {}
 
         self._layer_names: Dict[int, str] = {
@@ -144,6 +144,7 @@ class PimBackend:
         }
         self._mapped: Dict[str, MappedMVMLayer] = {}
         self._adcs: Dict[str, object] = {}
+        self._layer_noise: Dict[str, LayerNoiseState] = {}
         self.layer_stats: Dict[str, LayerSimStats] = {}
 
     # ------------------------------------------------------------------ #
@@ -171,20 +172,25 @@ class PimBackend:
         return self._mapped[name]
 
     def _adc_for(self, name: str):
-        if name in self._adcs:
-            return self._adcs[name]
-        config = self._adc_configs.get(name)
-        inject_noise = not isinstance(self.noise, NoNoise)
-        if config is not None:
-            adc = build_adc(config)
-        elif inject_noise:
-            adc = _IdealAdc(self.topology.ideal_adc_resolution)
-        else:
-            adc = None
-        if adc is not None and inject_noise:
-            adc = _NoisyAdcWrapper(adc, self.noise)
-        self._adcs[name] = adc
-        return adc
+        if name not in self._adcs:
+            config = self._adc_configs.get(name)
+            self._adcs[name] = build_adc(config) if config is not None else None
+        return self._adcs[name]
+
+    def _noise_for(self, name: str, mapped: MappedMVMLayer) -> Optional[LayerNoiseState]:
+        """The layer's bound noise state (static device draws + chunk counter).
+
+        Bound once per layer per backend: static draws (variation factors,
+        fault maps) model one physical device for the whole run, and the
+        chunk counter advances identically in both engines.
+        """
+        if self.noise is None:
+            return None
+        state = self._layer_noise.get(name)
+        if state is None:
+            state = self.noise.bind_mapped(name, mapped)
+            self._layer_noise[name] = state
+        return state
 
     def _stats_for(self, name: str, kind: str, mapped: MappedMVMLayer) -> LayerSimStats:
         if name not in self.layer_stats:
@@ -211,6 +217,7 @@ class PimBackend:
             )
         mapped = self._mapped_layer(name, kind)
         adc = self._adc_for(name)
+        noise_state = self._noise_for(name, mapped)
         stats = self._stats_for(name, kind, mapped)
         if self.collector is not None:
             self.collector.set_layer(name)
@@ -218,25 +225,36 @@ class PimBackend:
         input_codes = lq.input_params.quantize(x_rows)
         rows = input_codes.shape[0]
         outputs = np.empty((rows, mapped.out_features), dtype=np.float64)
+        chunk_size = self.chunk_size
+        if chunk_size is None:
+            chunk_size = throughput_chunk_size(
+                mapped.num_input_cycles,
+                2 * mapped.num_weight_planes * mapped.out_features,
+            )
 
         # The collector records the ideal (noise-free) bit-line values the
-        # crossbar produces; noise, when enabled, is applied inside the ADC
-        # wrapper so only the conversion sees it.
+        # crossbar produces; noise, when enabled, perturbs the blocks after
+        # the observer so only the conversion sees it.
         observer = self.collector
-        baseline_ops = self.topology.ideal_adc_resolution
 
         prev_r1, prev_r2 = self._region_counters(adc)
         try:
-            for start in range(0, rows, self.chunk_size):
-                chunk = input_codes[start : start + self.chunk_size]
+            for start in range(0, rows, chunk_size):
+                chunk = input_codes[start : start + chunk_size]
+                if noise_state is not None:
+                    noise_state.next_chunk()
                 merged, ops = mapped.matmul(
-                    chunk, adc=adc, partial_observer=observer, engine=self.engine
+                    chunk,
+                    adc=adc,
+                    partial_observer=observer,
+                    engine=self.engine,
+                    noise=noise_state,
                 )
                 outputs[start : start + chunk.shape[0]] = merged
                 conversions = chunk.shape[0] * mapped.footprint().conversions_per_mvm
                 stats.mvm_count += chunk.shape[0]
                 stats.conversions += conversions
-                stats.operations += int(ops) if adc is not None else conversions * baseline_ops
+                stats.operations += int(ops)
         finally:
             # Scratch buffers are reused across the chunks above; free them so
             # peak memory is bounded by one layer's working set at a time.

@@ -6,6 +6,13 @@ accuracy under a given per-layer ADC configuration, total and per-layer A/D
 operation counts (Fig. 6c), and the bit-line value distributions used by the
 calibration search (Fig. 3a).  It plays the role DNN+NeuroSim plays in the
 paper's experimental setup.
+
+On top of the single-run API, :meth:`PimSimulator.run_monte_carlo` runs
+multi-seed robustness trials under a device non-ideality stack
+(:mod:`repro.nonideal`): each trial re-draws the device state from a derived
+per-trial seed, runs the (fast-engine, chunked) evaluation, and the
+aggregate reports mean/std/confidence-interval accuracy plus per-layer
+degradation statistics.  Trials are exactly reproducible under a fixed seed.
 """
 
 from __future__ import annotations
@@ -18,11 +25,18 @@ import numpy as np
 from repro.adc.config import AdcConfig
 from repro.crossbar.mapping import DEFAULT_TOPOLOGY, CrossbarTopology
 from repro.nn.metrics import top1_accuracy
+from repro.nonideal.models import LegacyNoiseAdapter
+from repro.nonideal.stack import as_stack
 from repro.quantization.ptq import QuantizedModel, find_mvm_layers
 from repro.sim.capture import DistributionCollector
-from repro.sim.fidelity import NoiseModel
+from repro.sim.fidelity import NoNoise
 from repro.sim.pim_layer import PimBackend
-from repro.sim.stats import LayerSimStats, SimulationResult
+from repro.sim.stats import (
+    LayerRobustnessStats,
+    LayerSimStats,
+    MonteCarloResult,
+    SimulationResult,
+)
 from repro.utils.logging import get_logger
 from repro.utils.validation import check_in_range, check_integer
 
@@ -39,20 +53,23 @@ class PimSimulator:
     topology:
         Crossbar geometry (defaults to the paper's 128×128 / 1-bit setup).
     chunk_size:
-        MVMs per inner batch inside the backend (memory knob).
+        MVMs per inner batch inside the backend (memory knob); ``None``
+        (default) selects the fast engine's adaptive per-layer throughput
+        chunking (:func:`repro.sim.pim_layer.throughput_chunk_size`).
     engine:
         Datapath engine: ``"fast"`` (fused cycle/segment kernel with
         integer-domain LUT ADCs, default) or ``"reference"`` (the
         per-(cycle, segment) loop kept as verification oracle).  The two are
-        bit-identical in outputs and operation statistics for deterministic
-        converters; runs with a noise model agree only statistically.
+        bit-identical in outputs and operation statistics, with or without a
+        :mod:`repro.nonideal` noise stack (legacy ``apply``-protocol noise
+        objects agree only statistically).
     """
 
     def __init__(
         self,
         quantized: QuantizedModel,
         topology: CrossbarTopology = DEFAULT_TOPOLOGY,
-        chunk_size: int = 4096,
+        chunk_size: Optional[int] = None,
         engine: str = "fast",
     ) -> None:
         if engine not in PimBackend._ENGINES:
@@ -61,7 +78,7 @@ class PimSimulator:
             )
         self.quantized = quantized
         self.topology = topology
-        self.chunk_size = int(chunk_size)
+        self.chunk_size = chunk_size if chunk_size is None else int(chunk_size)
         self.engine = engine
 
     # ------------------------------------------------------------------ #
@@ -82,7 +99,7 @@ class PimSimulator:
         adc_configs: Optional[Dict[str, AdcConfig]],
         batch_size: int,
         collector: Optional[DistributionCollector],
-        noise: Optional[NoiseModel],
+        noise,
     ) -> SimulationResult:
         check_in_range(check_integer(batch_size, "batch_size"), "batch_size", low=1)
         model = self.quantized.model
@@ -125,14 +142,112 @@ class PimSimulator:
         labels: np.ndarray,
         adc_configs: Optional[Dict[str, AdcConfig]] = None,
         batch_size: int = 16,
-        noise: Optional[NoiseModel] = None,
+        noise=None,
     ) -> SimulationResult:
         """Run inference with the given per-layer ADC configuration.
 
         ``adc_configs=None`` gives the ideal-conversion reference (no ADC
-        quantization error, baseline operation counts).
+        quantization error, baseline operation counts).  ``noise`` accepts
+        anything :func:`repro.nonideal.as_stack` does: a stack, a model, a
+        list of models/spec dicts, or a legacy ``apply``-protocol object.
         """
         return self._run_backend(images, labels, adc_configs, batch_size, None, noise)
+
+    def run_monte_carlo(
+        self,
+        images: np.ndarray,
+        labels: np.ndarray,
+        noise,
+        adc_configs: Optional[Dict[str, AdcConfig]] = None,
+        trials: int = 16,
+        batch_size: int = 16,
+        seed: int = 0,
+        confidence: float = 0.95,
+        clean: Optional[SimulationResult] = None,
+    ) -> MonteCarloResult:
+        """Multi-seed robustness trials under a device non-ideality stack.
+
+        Runs one clean (noise-free) evaluation as the reference, then
+        ``trials`` noisy evaluations whose stacks are reseeded with seeds
+        derived from ``(stack seed, seed, trial)`` — every trial therefore
+        sees an independent device (fresh variation factors, fault maps and
+        read noise) while the whole experiment reproduces exactly under the
+        same seeds.  Each trial runs batched over the configured engine (the
+        fast engine by default) with the backend's throughput chunking.
+
+        Sweeps that call this repeatedly with the same images and
+        ``adc_configs`` can pass the deterministic clean run once via
+        ``clean`` (it must come from ``evaluate`` on the same inputs) to
+        skip recomputing it per grid point.
+
+        Returns a :class:`~repro.sim.stats.MonteCarloResult` with the trial
+        accuracies, their mean/std and normal-approximation confidence
+        interval, per-trial prediction flip rates against the clean run, and
+        per-layer degradation statistics of the A/D operation and region
+        counters.
+        """
+        check_in_range(check_integer(trials, "trials"), "trials", low=1)
+        check_in_range(float(confidence), "confidence", low=0.0, high=1.0, inclusive=False)
+        if isinstance(noise, NoNoise):
+            noise = None
+        stack = as_stack(noise)
+        if stack is None or not stack.models:
+            raise ValueError("run_monte_carlo requires a non-empty noise stack")
+        if any(isinstance(model, LegacyNoiseAdapter) for model in stack.models):
+            raise TypeError(
+                "run_monte_carlo requires keyed repro.nonideal models: a legacy "
+                "apply-protocol noise object owns one mutable RNG stream, so its "
+                "trials would be neither independent nor reproducible under the "
+                "derived per-trial seeds"
+            )
+
+        if clean is None:
+            clean = self.evaluate(images, labels, adc_configs, batch_size=batch_size)
+        elif clean.logits is None or clean.logits.shape[0] != images.shape[0]:
+            raise ValueError(
+                "clean= must be an evaluate() result (with logits) over the "
+                "same images as this Monte Carlo run"
+            )
+        clean_predictions = np.argmax(clean.logits, axis=1)
+
+        accuracies = np.empty(trials, dtype=np.float64)
+        flip_rates = np.empty(trials, dtype=np.float64)
+        trial_layer_stats: Dict[str, list] = {name: [] for name in clean.layer_stats}
+        for trial in range(trials):
+            trial_stack = stack.derive_trial(seed, trial)
+            result = self.evaluate(
+                images, labels, adc_configs, batch_size=batch_size, noise=trial_stack
+            )
+            accuracies[trial] = result.accuracy
+            predictions = np.argmax(result.logits, axis=1)
+            flip_rates[trial] = float(np.mean(predictions != clean_predictions))
+            for name, stats in result.layer_stats.items():
+                trial_layer_stats.setdefault(name, []).append(stats)
+            logger.debug(
+                "MC trial %d/%d: accuracy %.4f flip %.4f",
+                trial + 1, trials, accuracies[trial], flip_rates[trial],
+            )
+
+        layer_stats = {
+            name: LayerRobustnessStats.from_trials(
+                name,
+                clean.layer_stats.get(name),
+                rows,
+                self.baseline_ops_per_conversion,
+            )
+            for name, rows in trial_layer_stats.items()
+        }
+        return MonteCarloResult(
+            trials=trials,
+            seed=int(seed),
+            confidence=float(confidence),
+            accuracies=accuracies,
+            flip_rates=flip_rates,
+            clean_accuracy=clean.accuracy,
+            layer_stats=layer_stats,
+            noise_specs=_safe_specs(stack),
+            baseline_ops_per_conversion=self.baseline_ops_per_conversion,
+        )
 
     def collect_bitline_distributions(
         self,
@@ -158,7 +273,10 @@ class PimSimulator:
         """A closure mapping per-layer ADC configs to end-to-end accuracy.
 
         This is the ``Acc'`` oracle of Algorithm 1's outer loop; the
-        calibration search calls it once per candidate ``Nmax``.
+        calibration search calls it once per candidate ``Nmax``.  The oracle
+        runs on this simulator's engine and chunking — with the defaults,
+        the fast engine at its throughput chunk size, which is what makes
+        the accuracy-constrained loop affordable.
         """
 
         def evaluate(adc_configs: Optional[Dict[str, AdcConfig]]) -> float:
@@ -177,3 +295,20 @@ class PimSimulator:
             kind = lq.kind
             footprints[name] = backend._mapped_layer(name, kind).footprint()
         return footprints
+
+
+def _safe_specs(stack) -> Optional[list]:
+    """Registry specs of the stack, or ``None`` for unserializable models."""
+    try:
+        return stack.specs()
+    except TypeError:
+        return None
+
+
+__all__ = [
+    "LayerRobustnessStats",
+    "LayerSimStats",
+    "MonteCarloResult",
+    "PimSimulator",
+    "SimulationResult",
+]

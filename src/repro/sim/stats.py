@@ -1,13 +1,14 @@
-"""Result containers of the PIM simulation."""
+"""Result containers of the PIM simulation and Monte Carlo robustness runs."""
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.adc.counters import ConversionStats
+from repro.utils.numeric import normal_quantile
 
 
 @dataclasses.dataclass
@@ -97,4 +98,138 @@ class SimulationResult:
             "mean_ops_per_conversion": self.mean_ops_per_conversion,
             "remaining_ops_fraction": self.remaining_ops_fraction,
             "ops_reduction_factor": self.ops_reduction_factor,
+        }
+
+
+# --------------------------------------------------------------------- #
+# Monte Carlo robustness
+# --------------------------------------------------------------------- #
+@dataclasses.dataclass(frozen=True)
+class LayerRobustnessStats:
+    """Per-layer degradation statistics across Monte Carlo noise trials.
+
+    Noise shifts which region a twin-range conversion resolves in (changing
+    the A/D operation count) and, for integer-domain faults, the converted
+    values themselves; this container reports the drift of the per-layer
+    operation/region counters relative to the clean run.
+    """
+
+    name: str
+    clean_remaining_fraction: float
+    mean_remaining_fraction: float
+    std_remaining_fraction: float
+    clean_r1_fraction: float
+    mean_r1_fraction: float
+    std_r1_fraction: float
+
+    @classmethod
+    def from_trials(
+        cls,
+        name: str,
+        clean: Optional["LayerSimStats"],
+        trials: List["LayerSimStats"],
+        baseline_ops: int,
+    ) -> "LayerRobustnessStats":
+        def r1_fraction(stats: "LayerSimStats") -> float:
+            return stats.in_r1 / stats.conversions if stats.conversions else 0.0
+
+        remaining = np.array(
+            [stats.remaining_fraction(baseline_ops) for stats in trials], dtype=np.float64
+        )
+        r1 = np.array([r1_fraction(stats) for stats in trials], dtype=np.float64)
+        ddof = 1 if len(trials) > 1 else 0
+        return cls(
+            name=name,
+            clean_remaining_fraction=(
+                clean.remaining_fraction(baseline_ops) if clean is not None else 0.0
+            ),
+            mean_remaining_fraction=float(remaining.mean()) if remaining.size else 0.0,
+            std_remaining_fraction=float(remaining.std(ddof=ddof)) if remaining.size else 0.0,
+            clean_r1_fraction=r1_fraction(clean) if clean is not None else 0.0,
+            mean_r1_fraction=float(r1.mean()) if r1.size else 0.0,
+            std_r1_fraction=float(r1.std(ddof=ddof)) if r1.size else 0.0,
+        )
+
+
+@dataclasses.dataclass
+class MonteCarloResult:
+    """Outcome of :meth:`repro.sim.PimSimulator.run_monte_carlo`.
+
+    ``accuracies`` and ``flip_rates`` hold one entry per trial; the summary
+    statistics use the sample standard deviation and a normal-approximation
+    confidence interval on the mean (the trial count is the lever: the
+    interval half-width shrinks as ``1/sqrt(trials)``).
+    """
+
+    trials: int
+    seed: int
+    confidence: float
+    accuracies: np.ndarray
+    flip_rates: np.ndarray
+    clean_accuracy: float
+    layer_stats: Dict[str, LayerRobustnessStats]
+    noise_specs: Optional[List[Dict[str, object]]] = None
+    baseline_ops_per_conversion: int = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def mean_accuracy(self) -> float:
+        return float(np.mean(self.accuracies))
+
+    @property
+    def std_accuracy(self) -> float:
+        ddof = 1 if self.trials > 1 else 0
+        return float(np.std(self.accuracies, ddof=ddof))
+
+    @property
+    def mean_accuracy_drop(self) -> float:
+        """Mean degradation relative to the clean (noise-free) run."""
+        return self.clean_accuracy - self.mean_accuracy
+
+    @property
+    def mean_flip_rate(self) -> float:
+        """Mean fraction of predictions flipped vs the clean run."""
+        return float(np.mean(self.flip_rates))
+
+    @property
+    def ci_halfwidth(self) -> float:
+        """Half-width of the confidence interval on the mean accuracy."""
+        if self.trials < 2:
+            return float("inf")
+        z = normal_quantile(0.5 + self.confidence / 2.0)
+        return float(z * self.std_accuracy / np.sqrt(self.trials))
+
+    @property
+    def accuracy_ci(self) -> Tuple[float, float]:
+        half = self.ci_halfwidth
+        mean = self.mean_accuracy
+        return mean - half, mean + half
+
+    @property
+    def worst_accuracy(self) -> float:
+        return float(np.min(self.accuracies))
+
+    def summary(self) -> Dict[str, Optional[float]]:
+        """Flat dictionary convenient for tabulation and JSON export.
+
+        Non-finite statistics (the confidence interval is undefined for a
+        single trial) are reported as ``None`` so the dictionary stays
+        strict-JSON serializable.
+        """
+
+        def finite(value: float) -> Optional[float]:
+            return float(value) if np.isfinite(value) else None
+
+        low, high = self.accuracy_ci
+        return {
+            "trials": float(self.trials),
+            "clean_accuracy": self.clean_accuracy,
+            "mean_accuracy": self.mean_accuracy,
+            "std_accuracy": self.std_accuracy,
+            "mean_accuracy_drop": self.mean_accuracy_drop,
+            "worst_accuracy": self.worst_accuracy,
+            "accuracy_ci_low": finite(low),
+            "accuracy_ci_high": finite(high),
+            "ci_halfwidth": finite(self.ci_halfwidth),
+            "mean_flip_rate": self.mean_flip_rate,
         }

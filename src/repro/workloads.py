@@ -108,7 +108,7 @@ def prepare_workload(
     epochs: Optional[int] = None,
     seed: int = 0,
     cache_dir: Optional[str] = None,
-    chunk_size: int = 4096,
+    chunk_size: Optional[int] = None,
 ) -> PreparedWorkload:
     """Build the full evaluation stack for one paper workload.
 
