@@ -3,11 +3,14 @@ wall-time effect of the fast engine's throughput chunking on the search.
 
 The paper calibrates on 32 randomly selected training images (Section V-A).
 The first benchmark varies the calibration-set size and records how the
-resulting ADC configuration's accuracy and operation count change; the
-second pins the PR follow-up that threaded the fast engine's throughput
-chunking defaults into the calibration search — the accuracy oracle that
-dominates Algorithm 1's outer loop must get measurably faster at the
-throughput chunk size than at a small legacy chunk.
+resulting ADC configuration's accuracy and operation count change; since
+PR 3 it is a declarative ``kind="calibration"`` sweep executed through the
+:mod:`repro.experiments` runner, so repeated benchmark runs serve the grid
+from the content-addressed result store.  The second benchmark pins the PR
+follow-up that threaded the fast engine's throughput chunking defaults into
+the calibration search — the accuracy oracle that dominates Algorithm 1's
+outer loop must get measurably faster at the throughput chunk size than at
+a small legacy chunk.
 """
 
 from __future__ import annotations
@@ -15,49 +18,51 @@ from __future__ import annotations
 import json
 import time
 
-from conftest import eval_image_count
+from conftest import (
+    CACHE_DIR,
+    WORKLOAD_CALIBRATION_IMAGES,
+    WORKLOAD_SEED,
+    WORKLOAD_TEST_SIZE,
+    WORKLOAD_TRAIN_SIZE,
+    _preset,
+    eval_image_count,
+    workload_epochs,
+)
 
 from repro.adc import twin_range_config
-from repro.core import CoDesignOptimizer, SearchSpaceConfig, TRQParams
-from repro.datasets import sample_calibration_set
-from repro.report import ExperimentRecord, format_table
+from repro.core import TRQParams
+from repro.experiments import ResultStore, WorkloadSpec, run_sweep
+from repro.experiments.presets import ablation_calibration
+from repro.report import format_table
 from repro.sim import PimSimulator
 
 
 def test_ablation_calibration_set_size(benchmark, workloads, results_dir):
-    name, workload = next(iter(workloads.items()))
-    split = workload.eval_split(eval_image_count())
-
-    def run():
-        rows = []
-        for calib_size in (4, 8, 16, 32):
-            calibration = sample_calibration_set(
-                workload.dataset.train, num_images=calib_size, seed=calib_size
-            )
-            optimizer = CoDesignOptimizer(
-                workload.model, calibration.images, calibration.labels,
-                search_space=SearchSpaceConfig(num_v_grid_candidates=12),
-                max_samples_per_layer=8192,
-            )
-            result = optimizer.run(split.images, split.labels, batch_size=16,
-                                   use_accuracy_loop=False, initial_n_max=4)
-            rows.append({
-                "calibration_images": calib_size,
-                "accuracy": result.final_accuracy,
-                "accuracy_drop": result.accuracy_drop,
-                "remaining_ops_fraction": result.remaining_ops_fraction,
-            })
-        return rows
-
-    rows = benchmark.pedantic(run, rounds=1, iterations=1)
-    record = ExperimentRecord(
-        experiment_id="abl-calib",
-        description="TRQ calibration quality vs calibration-set size",
-        paper_reference="Section V-A: 32 calibration images suffice (no retraining)",
-        rows=rows,
-        metadata={"workload": name},
+    name = next(iter(workloads))
+    # The grid and experiment identity come from the preset factory; the
+    # workload preparation is built from the conftest budget constants, so
+    # the runner's jobs share the trained-weight cache with the figure
+    # benchmarks by construction.
+    experiment = ablation_calibration(
+        images=eval_image_count(),
+        workload=WorkloadSpec(
+            name, preset=_preset(),
+            train_size=WORKLOAD_TRAIN_SIZE, test_size=WORKLOAD_TEST_SIZE,
+            calibration_images=WORKLOAD_CALIBRATION_IMAGES,
+            epochs=workload_epochs(name), seed=WORKLOAD_SEED,
+        ),
     )
-    record.save(results_dir / "ablation_calibration.json")
+    store = ResultStore(results_dir / "store")
+
+    run = benchmark.pedantic(
+        lambda: run_sweep(
+            experiment.sweep, store, weights_cache_dir=str(CACHE_DIR),
+            experiment=experiment,
+        ),
+        rounds=1, iterations=1,
+    )
+    rows = run.rows
+    run.record.save(results_dir / "ablation_calibration.json")
     print()
     print(format_table(rows))
 

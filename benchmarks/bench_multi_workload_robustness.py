@@ -1,0 +1,206 @@
+"""Multi-workload Monte Carlo robustness sweep on the experiment orchestrator.
+
+The ROADMAP follow-up from the non-ideality PR: Monte Carlo robustness over
+the multi-workload sweep (LeNet-5 + ResNet-20 + SqueezeNet) with result
+caching.  Beyond producing the accuracy-under-noise table, this benchmark
+*asserts* the orchestrator's contracts end to end:
+
+1. **Resume bit-identity** — a sweep interrupted after half its jobs and
+   then resumed skips the completed jobs via the content-addressed store
+   and produces a byte-identical aggregate record to an uninterrupted
+   single-process run (checked every invocation, including ``--smoke``).
+2. **Cache hits** — rerunning the finished sweep computes nothing.
+3. **Parallel speedup** (``--timing``) — ``--jobs N`` executes the smoke
+   sweep ≥2x faster than ``--jobs 1`` on a machine with enough cores (the
+   assertion needs ≥4 physical cores to be meaningful and is skipped, with
+   a notice, below that).
+
+Run::
+
+    python benchmarks/bench_multi_workload_robustness.py            # full
+    python benchmarks/bench_multi_workload_robustness.py --smoke    # CI
+    python benchmarks/bench_multi_workload_robustness.py --smoke --timing
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+sys.path.insert(0, str(BENCH_DIR.parent / "src"))
+
+from repro.experiments import (  # noqa: E402
+    ResultStore,
+    clear_runner_memos,
+    execute_job,
+    prewarm_workloads,
+    run_sweep,
+)
+from repro.experiments.presets import multi_workload_robustness  # noqa: E402
+
+MIN_PARALLEL_SPEEDUP = 2.0
+MIN_CORES_FOR_TIMING = 4
+
+
+def parse_args(argv=None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny budgets for CI (a few tens of seconds)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the main sweep")
+    parser.add_argument("--trials", type=int, default=None)
+    parser.add_argument("--images", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--timing", action="store_true",
+                        help="measure and assert the >=2x parallel speedup "
+                             "on the smoke sweep (needs >=4 cores)")
+    parser.add_argument("--store", type=Path,
+                        default=BENCH_DIR / "results" / "store")
+    parser.add_argument("--out", type=Path,
+                        default=BENCH_DIR / "results" / "multi_workload_robustness.json")
+    return parser.parse_args(argv)
+
+
+def record_bytes(run) -> bytes:
+    """The serialized aggregate the bit-identity assertions compare."""
+    return json.dumps(run.record.to_dict(), sort_keys=True).encode("utf-8")
+
+
+def check_resume_bit_identity(experiment, cache_dir: str) -> None:
+    """Crash-resume equivalence on throwaway stores (smoke-scale budgets)."""
+    sweep = experiment.sweep
+    scratch = Path(tempfile.mkdtemp(prefix="mwr-resume-"))
+    try:
+        # Uninterrupted single-process reference run.
+        clear_runner_memos()
+        reference = run_sweep(
+            sweep, scratch / "reference", weights_cache_dir=cache_dir,
+            experiment=experiment,
+        )
+        # Simulated crash: execute only the first half of the jobs, then
+        # abandon the run...
+        interrupted_store = ResultStore(scratch / "interrupted")
+        jobs = sweep.expand()
+        for job in jobs[: len(jobs) // 2]:
+            execute_job(job, interrupted_store, cache_dir)
+        # ... and resume: the completed half must be served from the store.
+        clear_runner_memos()
+        resumed = run_sweep(
+            sweep, interrupted_store, weights_cache_dir=cache_dir,
+            experiment=experiment,
+        )
+        assert resumed.stats.cached == len(jobs) // 2, (
+            f"resume recomputed cached jobs: {resumed.stats}"
+        )
+        assert resumed.stats.computed == len(jobs) - len(jobs) // 2
+        assert record_bytes(resumed) == record_bytes(reference), (
+            "resumed sweep's aggregate record differs from the uninterrupted run"
+        )
+        print(f"  resume check: {resumed.stats.cached} jobs skipped via cache, "
+              f"aggregate bit-identical to the uninterrupted run "
+              f"({len(record_bytes(reference))} bytes)")
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+
+
+def check_parallel_speedup(experiment, cache_dir: str, jobs: int) -> None:
+    """Fresh-store serial vs parallel wall time on the smoke sweep."""
+    cores = os.cpu_count() or 1
+    if cores < MIN_CORES_FOR_TIMING:
+        print(f"  timing check SKIPPED: {cores} cores < {MIN_CORES_FOR_TIMING} "
+              f"(the >={MIN_PARALLEL_SPEEDUP}x assertion needs real parallelism)")
+        return
+    jobs = max(jobs, MIN_CORES_FOR_TIMING)
+    sweep = experiment.sweep
+    # Train once up front so both timed runs only load cached weights.
+    prewarm_workloads(sweep, cache_dir)
+    scratch = Path(tempfile.mkdtemp(prefix="mwr-timing-"))
+    try:
+        clear_runner_memos()
+        start = time.perf_counter()
+        serial = run_sweep(sweep, scratch / "serial", jobs=1,
+                           weights_cache_dir=cache_dir, prewarm=False)
+        serial_s = time.perf_counter() - start
+
+        clear_runner_memos()
+        start = time.perf_counter()
+        parallel = run_sweep(sweep, scratch / "parallel", jobs=jobs,
+                             weights_cache_dir=cache_dir, prewarm=False)
+        parallel_s = time.perf_counter() - start
+
+        assert record_bytes(serial) == record_bytes(parallel), \
+            "parallel aggregate differs from serial"
+        speedup = serial_s / parallel_s
+        print(f"  timing: serial {serial_s:.1f}s, --jobs {jobs} {parallel_s:.1f}s "
+              f"-> {speedup:.2f}x")
+        assert speedup >= MIN_PARALLEL_SPEEDUP, (
+            f"--jobs {jobs} sped the smoke sweep up only {speedup:.2f}x over "
+            f"serial (required {MIN_PARALLEL_SPEEDUP}x on {cores} cores)"
+        )
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv)
+    cache_dir = str(BENCH_DIR / ".cache")
+    experiment = multi_workload_robustness(
+        smoke=args.smoke, trials=args.trials, images=args.images, seed=args.seed,
+    )
+
+    # Main sweep against the persistent store (resumes across invocations).
+    run = run_sweep(
+        experiment.sweep, ResultStore(args.store), jobs=args.jobs,
+        weights_cache_dir=cache_dir, experiment=experiment, progress=print,
+    )
+    for row in run.rows:
+        prefix = (f"  {row['workload']:14s} sigma={row['sigma']:4.2f} "
+                  f"faults={row['fault_rate']:7.4f}")
+        if "mean_accuracy" in row:
+            seed = row.get("mc_seed", args.seed)
+            print(f"{prefix} seed={seed}  acc {row['mean_accuracy']:.3f} "
+                  f"± {row['std_accuracy']:.3f}  flip {row['mean_flip_rate']:.3f}  "
+                  f"clean {row['clean_accuracy']:.3f}")
+        else:
+            print(f"{prefix}  clean accuracy {row['accuracy']:.3f}")
+    run.record.save(args.out)
+
+    # Contract 2: a finished sweep is served entirely from the store.
+    rerun = run_sweep(
+        experiment.sweep, ResultStore(args.store),
+        weights_cache_dir=cache_dir, experiment=experiment,
+    )
+    assert rerun.stats.computed == 0 and rerun.stats.cached == rerun.stats.total, \
+        f"finished sweep recomputed jobs: {rerun.stats}"
+    assert record_bytes(rerun) == record_bytes(run)
+    print(f"  cache check: rerun served all {rerun.stats.total} jobs from the store")
+
+    # Contract 1: crash + resume == uninterrupted run, bit for bit.  Always
+    # checked on smoke-scale budgets so the full sweep stays affordable.
+    resume_experiment = experiment if args.smoke else multi_workload_robustness(
+        smoke=True, seed=args.seed
+    )
+    check_resume_bit_identity(resume_experiment, cache_dir)
+
+    # Contract 3 (optional): parallel execution beats serial >=2x.
+    if args.timing:
+        timing_experiment = experiment if args.smoke else multi_workload_robustness(
+            smoke=True, seed=args.seed
+        )
+        check_parallel_speedup(timing_experiment, cache_dir, args.jobs)
+
+    print(f"multi-workload robustness: {run.stats.total} jobs "
+          f"({run.stats.cached} cached, {run.stats.computed} computed), "
+          f"{run.stats.elapsed_s:.1f}s -> {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -2,40 +2,36 @@
 
 Sweeps Gaussian read-noise sigma against stuck-at fault rate on LeNet-5 with
 the paper's twin-range ADC configuration, running Monte Carlo trials per grid
-point (``PimSimulator.run_monte_carlo``, batched over the fast engine).  For
-every point it reports mean/std accuracy, the normal-approximation confidence
-interval and the prediction flip rate versus the clean run, answering the
-standard reviewer question — how far can the analog front end degrade before
-the TRQ co-design stops holding up?
+point.  Since PR 3 the sweep is *declarative*: the grid is a
+:mod:`repro.experiments` preset executed by the orchestration runner, so
+completed grid points are cached in the content-addressed result store
+(reruns and interrupted sweeps skip them), the clean reference is computed
+once and shared by every grid point, and ``--jobs N`` runs points in
+parallel worker processes.
 
 Runs as a plain script (so the CI smoke job can execute it without the
 pytest-benchmark harness)::
 
-    python benchmarks/bench_robustness_noise.py            # full sweep
-    python benchmarks/bench_robustness_noise.py --smoke    # seconds-fast CI job
+    python benchmarks/bench_robustness_noise.py              # full sweep
+    python benchmarks/bench_robustness_noise.py --smoke      # seconds-fast CI
+    python benchmarks/bench_robustness_noise.py --jobs 4     # parallel
+    python benchmarks/bench_robustness_noise.py --force      # ignore cache
 
-Results are written to ``benchmarks/results/robustness_noise.json``.
+Results are written to ``benchmarks/results/robustness_noise.json``; the
+store lives under ``benchmarks/results/store/``.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import sys
-import time
 from pathlib import Path
 
 BENCH_DIR = Path(__file__).resolve().parent
 sys.path.insert(0, str(BENCH_DIR.parent / "src"))
 
-import numpy as np  # noqa: E402
-
-from repro.adc import twin_range_config  # noqa: E402
-from repro.core import TRQParams  # noqa: E402
-from repro.nonideal import GaussianReadNoise, NonIdealityStack, StuckAtFaults  # noqa: E402
-from repro.workloads import prepare_workload  # noqa: E402
-
-TRQ = TRQParams(n_r1=2, n_r2=5, m=3, delta_r1=1.0, bias=0)
+from repro.experiments import ResultStore, run_sweep  # noqa: E402
+from repro.experiments.presets import robustness_noise  # noqa: E402
 
 
 def parse_args(argv=None) -> argparse.Namespace:
@@ -51,6 +47,12 @@ def parse_args(argv=None) -> argparse.Namespace:
     parser.add_argument("--fault-rates", type=float, nargs="*", default=None,
                         help="stuck-at-ON fault rates to sweep")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="parallel worker processes (default: serial)")
+    parser.add_argument("--force", action="store_true",
+                        help="recompute grid points already in the store")
+    parser.add_argument("--store", type=Path,
+                        default=BENCH_DIR / "results" / "store")
     parser.add_argument("--out", type=Path,
                         default=BENCH_DIR / "results" / "robustness_noise.json")
     return parser.parse_args(argv)
@@ -58,76 +60,52 @@ def parse_args(argv=None) -> argparse.Namespace:
 
 def main(argv=None) -> int:
     args = parse_args(argv)
-    if args.smoke:
-        sigmas = args.sigmas if args.sigmas is not None else [0.0, 0.5]
-        fault_rates = args.fault_rates if args.fault_rates is not None else [0.0, 1e-3]
-        trials = args.trials or 2
-        images = args.images or 8
-        train_size, epochs = 128, 6
-    else:
-        sigmas = args.sigmas if args.sigmas is not None else [0.0, 0.25, 0.5, 1.0, 2.0]
-        fault_rates = args.fault_rates if args.fault_rates is not None else [0.0, 1e-3, 5e-3, 1e-2]
-        trials = args.trials or 8
-        images = args.images or 48
-        train_size, epochs = 256, 20
-
-    start = time.perf_counter()
-    workload = prepare_workload(
-        "lenet5", preset="tiny", train_size=train_size, test_size=max(images, 32),
-        calibration_images=16, epochs=epochs, seed=args.seed,
-        cache_dir=str(BENCH_DIR / ".cache"),
+    experiment = robustness_noise(
+        smoke=args.smoke, sigmas=args.sigmas, fault_rates=args.fault_rates,
+        trials=args.trials, images=args.images, seed=args.seed,
     )
-    simulator = workload.simulator
-    split = workload.eval_split(images)
-    configs = {name: twin_range_config(TRQ) for name in simulator.layer_names()}
-    # The clean reference is deterministic and shared by every grid point.
-    clean = simulator.evaluate(split.images, split.labels, configs, batch_size=16)
+    run = run_sweep(
+        experiment.sweep,
+        ResultStore(args.store),
+        jobs=args.jobs,
+        force=args.force,
+        weights_cache_dir=str(BENCH_DIR / ".cache"),
+        experiment=experiment,
+        progress=print,
+    )
 
-    rows = []
-    for sigma in sigmas:
-        for rate in fault_rates:
-            stack = NonIdealityStack(
-                [GaussianReadNoise(sigma=sigma), StuckAtFaults(rate_on=rate)],
-                seed=args.seed,
-            )
-            result = simulator.run_monte_carlo(
-                split.images, split.labels, stack,
-                adc_configs=configs, trials=trials, batch_size=16, seed=args.seed,
-                clean=clean,
-            )
-            summary = result.summary()
-            summary.update({"sigma": sigma, "fault_rate": rate})
-            rows.append(summary)
-            low, high = result.accuracy_ci
-            print(f"  sigma={sigma:5.2f} faults={rate:7.4f}  "
-                  f"acc {result.mean_accuracy:.3f} ± {result.std_accuracy:.3f} "
-                  f"(CI [{low:.3f}, {high:.3f}])  flip {result.mean_flip_rate:.3f}  "
-                  f"clean {result.clean_accuracy:.3f}")
+    clean_accuracy = None
+    for row in run.rows:
+        if row["sigma"] == 0.0 and row["fault_rate"] == 0.0:
+            # The zero-noise grid point runs as the deterministic clean
+            # reference itself (no Monte Carlo trials).
+            clean_accuracy = row["accuracy"]
+            print(f"  sigma={row['sigma']:5.2f} faults={row['fault_rate']:7.4f}  "
+                  f"clean accuracy {row['accuracy']:.3f} "
+                  f"(remaining ops {row['remaining_ops_fraction']:.3f})")
+        else:
+            # The CI is None (JSON null) for single-trial runs.
+            if row["accuracy_ci_low"] is None:
+                ci = "undefined"
+            else:
+                ci = f"[{row['accuracy_ci_low']:.3f}, {row['accuracy_ci_high']:.3f}]"
+            print(f"  sigma={row['sigma']:5.2f} faults={row['fault_rate']:7.4f}  "
+                  f"acc {row['mean_accuracy']:.3f} ± {row['std_accuracy']:.3f} "
+                  f"(CI {ci})  flip {row['mean_flip_rate']:.3f}  "
+                  f"clean {row['clean_accuracy']:.3f}")
 
-            if sigma == 0.0 and rate == 0.0:
-                # Self-check: an all-zero stack is the identity — every trial
-                # must reproduce the clean run exactly (keyed noise does not
-                # disturb the deterministic datapath).
-                assert result.mean_accuracy == result.clean_accuracy, \
-                    "zero-noise Monte Carlo trial diverged from the clean run"
-                assert result.mean_flip_rate == 0.0
+    # Self-check: every Monte Carlo grid point was aggregated against the
+    # *shared* clean reference — which is exactly the zero-noise row.
+    if clean_accuracy is not None:
+        for row in run.rows:
+            if "clean_accuracy" in row:
+                assert row["clean_accuracy"] == clean_accuracy, \
+                    "grid point used a different clean reference than the zero-noise run"
 
-    elapsed = time.perf_counter() - start
-    record = {
-        "experiment": "robustness_noise",
-        "workload": "lenet5",
-        "trq_params": {"n_r1": TRQ.n_r1, "n_r2": TRQ.n_r2, "m": TRQ.m, "bias": TRQ.bias},
-        "trials": trials,
-        "images": images,
-        "smoke": bool(args.smoke),
-        "elapsed_s": elapsed,
-        "rows": rows,
-    }
-    args.out.parent.mkdir(parents=True, exist_ok=True)
-    with open(args.out, "w") as handle:
-        json.dump(record, handle, indent=2)
-    print(f"robustness sweep: {len(rows)} grid points, {trials} trials each, "
-          f"{elapsed:.1f}s -> {args.out}")
+    run.record.save(args.out)
+    print(f"robustness sweep: {run.stats.total} grid points "
+          f"({run.stats.cached} cached, {run.stats.computed} computed), "
+          f"{run.stats.elapsed_s:.1f}s -> {args.out}")
     return 0
 
 

@@ -32,6 +32,21 @@ RESULTS_DIR = BENCH_DIR / "results"
 #: Sensing precisions swept in Fig. 6 (paper: 8, 7, 6, 5, 4).
 FIG6_BITS = (8, 7, 6, 5, 4)
 
+#: The one benchmark-wide workload-preparation budget.  Everything that
+#: prepares a benchmark workload — the session fixture below AND any
+#: spec-driven `repro.experiments` sweep that wants to share the trained
+#: weight cache with it — must build its configuration from these, so the
+#: definitions cannot drift apart.
+WORKLOAD_TRAIN_SIZE = 256
+WORKLOAD_TEST_SIZE = 96
+WORKLOAD_CALIBRATION_IMAGES = 32
+WORKLOAD_SEED = 0
+
+
+def workload_epochs(name: str) -> int:
+    """Per-workload training budget of the benchmark suite."""
+    return 20 if name == "lenet5" else 12
+
 
 def _selected_workloads() -> list:
     raw = os.environ.get("REPRO_BENCH_WORKLOADS", "lenet5,resnet20")
@@ -51,15 +66,14 @@ def workloads() -> Dict[str, PreparedWorkload]:
     """Trained + quantized workloads shared by every benchmark."""
     prepared = {}
     for name in _selected_workloads():
-        epochs = 20 if name == "lenet5" else 12
         prepared[name] = prepare_workload(
             name,
             preset=_preset(),
-            train_size=256,
-            test_size=96,
-            calibration_images=32,
-            epochs=epochs,
-            seed=0,
+            train_size=WORKLOAD_TRAIN_SIZE,
+            test_size=WORKLOAD_TEST_SIZE,
+            calibration_images=WORKLOAD_CALIBRATION_IMAGES,
+            epochs=workload_epochs(name),
+            seed=WORKLOAD_SEED,
             cache_dir=str(CACHE_DIR),
         )
     return prepared

@@ -13,13 +13,13 @@ attributes all error to ADC quantization.
 from __future__ import annotations
 
 import dataclasses
-import warnings
 from typing import Optional
 
 import numpy as np
 
 from repro.utils.rng import SeedLike, new_rng
 from repro.utils.validation import check_in_range, check_integer, check_positive
+from repro.utils.warnings import warn_once
 
 
 @dataclasses.dataclass(frozen=True)
@@ -97,7 +97,9 @@ class ReRAMCellModel:
         warn_deprecated: bool = True,
     ) -> None:
         if warn_deprecated and not config.is_ideal:
-            warnings.warn(
+            # Once per process (parallel sweeps build one model per worker).
+            warn_once(
+                ("crossbar.cell", "nonideal-knobs"),
                 "for MVM-datapath simulations, ReRAMCellModel's "
                 "programming_sigma/read_noise_sigma never take effect; build "
                 "the equivalent keyed models with "

@@ -1,0 +1,59 @@
+"""Parallel experiment orchestration.
+
+Declarative sweep specs over (workload × ADC config × non-ideality stack ×
+Monte Carlo seed), a content-addressed result store keyed on the
+fully-resolved job spec plus a code-version salt, and a resumable
+serial/parallel executor with deterministic aggregation.  See
+:mod:`repro.experiments.spec`, :mod:`repro.experiments.store` and
+:mod:`repro.experiments.runner`; ``python -m repro.experiments`` is the CLI.
+
+Quickstart::
+
+    from repro.experiments import build_preset, run_sweep
+
+    experiment = build_preset("multi-workload-robustness", smoke=True)
+    run = run_sweep(experiment.sweep, "benchmarks/results/store", jobs=2,
+                    weights_cache_dir="benchmarks/.cache")
+    print(run.record.to_table())
+"""
+
+from repro.experiments.presets import available_presets, build_preset
+from repro.experiments.runner import (
+    SweepRun,
+    SweepRunStats,
+    clear_runner_memos,
+    execute_job,
+    prewarm_workloads,
+    run_sweep,
+)
+from repro.experiments.spec import (
+    AdcSpec,
+    CalibrationParams,
+    ExperimentSpec,
+    JobSpec,
+    NoiseScenario,
+    SweepSpec,
+    WorkloadSpec,
+)
+from repro.experiments.store import ResultStore, code_version_salt, job_key
+
+__all__ = [
+    "AdcSpec",
+    "CalibrationParams",
+    "ExperimentSpec",
+    "JobSpec",
+    "NoiseScenario",
+    "ResultStore",
+    "SweepRun",
+    "SweepRunStats",
+    "SweepSpec",
+    "WorkloadSpec",
+    "available_presets",
+    "build_preset",
+    "clear_runner_memos",
+    "code_version_salt",
+    "execute_job",
+    "job_key",
+    "prewarm_workloads",
+    "run_sweep",
+]

@@ -1,0 +1,143 @@
+"""Unified experiment-orchestration CLI.
+
+::
+
+    python -m repro.experiments list
+    python -m repro.experiments show robustness-noise --smoke
+    python -m repro.experiments run robustness-noise --smoke --jobs 2
+    python -m repro.experiments run path/to/sweep.json --force
+
+``run`` accepts either a built-in preset name (``list`` shows them) or a
+path to a JSON file holding an :class:`~repro.experiments.spec.ExperimentSpec`
+(or bare ``SweepSpec``) dict.  Completed jobs land in the content-addressed
+store and are skipped on the next invocation; an interrupted sweep (Ctrl-C,
+crash, CI timeout) therefore resumes where it left off — ``--resume`` is the
+default and spelled out only for scripts that want to be explicit.  Use
+``--force`` to discard the sweep's cached artifacts and recompute.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional
+
+from repro.experiments.presets import available_presets, build_preset
+from repro.experiments.runner import run_sweep
+from repro.experiments.spec import ExperimentSpec
+from repro.experiments.store import ResultStore, code_version_salt, job_key
+
+DEFAULT_STORE = Path("benchmarks") / "results" / "store"
+DEFAULT_CACHE = Path("benchmarks") / ".cache"
+DEFAULT_OUT_DIR = Path("benchmarks") / "results"
+
+
+def load_experiment(spec: str, smoke: bool = False) -> ExperimentSpec:
+    """Resolve a CLI spec argument: preset name or JSON file path."""
+    path = Path(spec)
+    if path.suffix == ".json" or path.exists():
+        experiment = ExperimentSpec.from_dict(json.loads(path.read_text()))
+        if smoke:
+            raise SystemExit(
+                "--smoke only applies to built-in presets; shrink the JSON "
+                "spec itself for a smoke variant"
+            )
+        return experiment
+    return build_preset(spec, smoke=smoke)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Declarative, cached, parallel experiment sweeps.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list built-in experiment presets")
+
+    show = sub.add_parser("show", help="print a sweep's expanded jobs and keys")
+    show.add_argument("spec", help="preset name or JSON spec path")
+    show.add_argument("--smoke", action="store_true", help="smoke variant")
+
+    run = sub.add_parser("run", help="execute a sweep against the result store")
+    run.add_argument("spec", help="preset name or JSON spec path")
+    run.add_argument("--smoke", action="store_true",
+                     help="seconds-fast smoke variant of a preset")
+    run.add_argument("--jobs", type=int, default=1,
+                     help="parallel worker processes (default 1: in-process)")
+    run.add_argument("--resume", action="store_true", default=True,
+                     help="skip jobs already in the store (default)")
+    run.add_argument("--force", action="store_true",
+                     help="drop the sweep's cached artifacts and recompute")
+    run.add_argument("--store", type=Path, default=DEFAULT_STORE,
+                     help=f"result store directory (default {DEFAULT_STORE})")
+    run.add_argument("--cache-dir", type=Path, default=DEFAULT_CACHE,
+                     help=f"trained-weight cache (default {DEFAULT_CACHE})")
+    run.add_argument("--out", type=Path, default=None,
+                     help="aggregate record path "
+                          f"(default {DEFAULT_OUT_DIR}/<experiment>.json)")
+    return parser
+
+
+def _cmd_list() -> int:
+    print(f"built-in experiment presets (salt {code_version_salt()}):")
+    for name in available_presets():
+        experiment = build_preset(name, smoke=True)
+        jobs = len(experiment.sweep.expand())
+        print(f"  {name:28s} {experiment.description}  [smoke: {jobs} jobs]")
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    experiment = load_experiment(args.spec, smoke=args.smoke)
+    jobs = experiment.sweep.expand()
+    print(f"[{experiment.experiment_id}] {experiment.description}")
+    print(f"salt: {code_version_salt()}  jobs: {len(jobs)}")
+    for index, job in enumerate(jobs):
+        print(f"  {index:3d} {job_key(job)[:16]} {job.kind:12s} {job.label_dict}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    experiment = load_experiment(args.spec, smoke=args.smoke)
+    sweep = experiment.sweep
+    store = ResultStore(args.store)
+    out = args.out
+    if out is None:
+        out = DEFAULT_OUT_DIR / f"{experiment.experiment_id.replace('/', '_')}.json"
+    try:
+        run = run_sweep(
+            sweep,
+            store,
+            jobs=args.jobs,
+            force=args.force,
+            weights_cache_dir=str(args.cache_dir),
+            experiment=experiment,
+            progress=print,
+        )
+    except KeyboardInterrupt:
+        print(
+            f"\ninterrupted — completed jobs are cached under {store.root}; "
+            "rerun the same command (--resume is the default) to continue",
+            file=sys.stderr,
+        )
+        return 130
+    print()
+    print(run.record.to_table())
+    run.record.save(out)
+    print(
+        f"\n{run.stats.total} jobs ({run.stats.cached} cached, "
+        f"{run.stats.computed} computed) in {run.stats.elapsed_s:.1f}s -> {out}"
+    )
+    return 0
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "show":
+        return _cmd_show(args)
+    return _cmd_run(args)

@@ -1,0 +1,205 @@
+"""Built-in named experiment sweeps.
+
+Each preset is a factory ``(smoke: bool, **overrides) -> ExperimentSpec``.
+``--smoke`` variants shrink the training budget, grid and trial count to
+seconds-fast CI jobs while exercising exactly the same code paths.  The
+benchmark scripts under ``benchmarks/`` build their sweeps through these
+factories so the grids live in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.experiments.spec import (
+    CalibrationParams,
+    ExperimentSpec,
+    NoiseScenario,
+    SweepSpec,
+    WorkloadSpec,
+)
+
+#: The multi-workload robustness trio (the paper's fourth workload,
+#: resnet18, shares the squeezenet dataset shape; add it via overrides).
+MULTI_WORKLOAD_NAMES = ("lenet5", "resnet20", "squeezenet1_1")
+
+
+def sigma_fault_scenarios(
+    sigmas: Sequence[float], fault_rates: Sequence[float], seed: int = 0
+) -> List[NoiseScenario]:
+    """The read-noise × stuck-at-fault grid used by the robustness sweeps."""
+    scenarios = []
+    for sigma in sigmas:
+        for rate in fault_rates:
+            models = []
+            if sigma > 0.0:
+                models.append({"model": "gaussian_read_noise", "sigma": float(sigma)})
+            if rate > 0.0:
+                models.append({"model": "stuck_at_faults", "rate_on": float(rate)})
+            scenarios.append(
+                NoiseScenario(
+                    models=tuple(models),
+                    seed=seed,
+                    label={"sigma": float(sigma), "fault_rate": float(rate)},
+                )
+            )
+    return scenarios
+
+
+# --------------------------------------------------------------------- #
+def robustness_noise(
+    smoke: bool = False,
+    sigmas: Optional[Sequence[float]] = None,
+    fault_rates: Optional[Sequence[float]] = None,
+    trials: Optional[int] = None,
+    images: Optional[int] = None,
+    seed: int = 0,
+) -> ExperimentSpec:
+    """LeNet-5 TRQ accuracy under read-noise sigma × stuck-at fault rate."""
+    if smoke:
+        sigmas = list(sigmas) if sigmas is not None else [0.0, 0.5]
+        fault_rates = list(fault_rates) if fault_rates is not None else [0.0, 1e-3]
+        trials = trials or 2
+        images = images or 8
+        train_size, epochs = 128, 6
+    else:
+        sigmas = list(sigmas) if sigmas is not None else [0.0, 0.25, 0.5, 1.0, 2.0]
+        fault_rates = (
+            list(fault_rates) if fault_rates is not None else [0.0, 1e-3, 5e-3, 1e-2]
+        )
+        trials = trials or 8
+        images = images or 48
+        train_size, epochs = 256, 20
+    sweep = SweepSpec(
+        name="robustness-noise",
+        kind="monte_carlo",
+        workloads=[
+            WorkloadSpec(
+                "lenet5", preset="tiny", train_size=train_size,
+                test_size=max(images, 32), calibration_images=16,
+                epochs=epochs, seed=seed,
+            )
+        ],
+        noises=sigma_fault_scenarios(sigmas, fault_rates, seed=seed),
+        mc_seeds=[seed],
+        trials=trials,
+        images=images,
+        batch_size=16,
+    )
+    return ExperimentSpec(
+        experiment_id="robustness-noise",
+        sweep=sweep,
+        description="TRQ accuracy under device noise (sigma x fault rate)",
+        paper_reference="beyond-paper robustness check (keyed noise subsystem)",
+    )
+
+
+def multi_workload_robustness(
+    smoke: bool = False,
+    workload_names: Sequence[str] = MULTI_WORKLOAD_NAMES,
+    trials: Optional[int] = None,
+    images: Optional[int] = None,
+    mc_seeds: Optional[Sequence[int]] = None,
+    seed: int = 0,
+) -> ExperimentSpec:
+    """Monte Carlo robustness over the multi-workload sweep (ROADMAP item)."""
+    if smoke:
+        trials = trials or 2
+        images = images or 6
+        train_size, epochs = 96, 3
+        scenarios = sigma_fault_scenarios([0.5], [0.0, 1e-3], seed=seed)
+        mc_seeds = list(mc_seeds) if mc_seeds is not None else [0, 1]
+    else:
+        trials = trials or 6
+        images = images or 32
+        train_size, epochs = 256, 12
+        scenarios = sigma_fault_scenarios([0.25, 0.5, 1.0], [0.0, 1e-3], seed=seed)
+        mc_seeds = list(mc_seeds) if mc_seeds is not None else [0]
+    sweep = SweepSpec(
+        name="multi-workload-robustness",
+        kind="monte_carlo",
+        workloads=[
+            WorkloadSpec(
+                name, preset="tiny", train_size=train_size,
+                test_size=max(images, 32), calibration_images=16,
+                epochs=epochs, seed=seed,
+            )
+            for name in workload_names
+        ],
+        noises=scenarios,
+        mc_seeds=mc_seeds,
+        trials=trials,
+        images=images,
+        batch_size=16,
+    )
+    return ExperimentSpec(
+        experiment_id="multi-workload-robustness",
+        sweep=sweep,
+        description="Monte Carlo robustness across lenet5/resnet20/squeezenet",
+        paper_reference="Section V-A workloads under device noise (beyond paper)",
+    )
+
+
+def ablation_calibration(
+    smoke: bool = False,
+    calibration_sizes: Optional[Sequence[int]] = None,
+    images: Optional[int] = None,
+    seed: int = 0,
+    workload: Optional[WorkloadSpec] = None,
+) -> ExperimentSpec:
+    """TRQ calibration quality vs calibration-set size (Algorithm 1).
+
+    ``workload`` overrides the default LeNet-5 preparation — the pytest
+    benchmark passes its conftest-budget workload here so the sweep shares
+    the benchmark suite's trained-weight cache while the grid and the
+    experiment identity stay defined in this one place.
+    """
+    if smoke:
+        calibration_sizes = list(calibration_sizes or (4, 16))
+        images = images or 16
+        train_size, epochs = 128, 6
+    else:
+        calibration_sizes = list(calibration_sizes or (4, 8, 16, 32))
+        images = images or 32
+        train_size, epochs = 256, 20
+    if workload is None:
+        workload = WorkloadSpec(
+            "lenet5", preset="tiny", train_size=train_size, test_size=96,
+            calibration_images=32, epochs=epochs, seed=seed,
+        )
+    sweep = SweepSpec(
+        name="ablation-calibration",
+        kind="calibration",
+        workloads=[workload],
+        calibrations=[
+            CalibrationParams(calibration_size=size) for size in calibration_sizes
+        ],
+        images=images,
+        batch_size=16,
+    )
+    return ExperimentSpec(
+        experiment_id="abl-calib",
+        sweep=sweep,
+        description="TRQ calibration quality vs calibration-set size",
+        paper_reference="Section V-A: 32 calibration images suffice (no retraining)",
+    )
+
+
+#: Registry of named presets for the CLI.
+PRESETS: Dict[str, Callable[..., ExperimentSpec]] = {
+    "robustness-noise": robustness_noise,
+    "multi-workload-robustness": multi_workload_robustness,
+    "ablation-calibration": ablation_calibration,
+}
+
+
+def available_presets() -> List[str]:
+    return sorted(PRESETS)
+
+
+def build_preset(name: str, smoke: bool = False, **overrides) -> ExperimentSpec:
+    if name not in PRESETS:
+        raise KeyError(
+            f"unknown experiment preset '{name}', available: {available_presets()}"
+        )
+    return PRESETS[name](smoke=smoke, **overrides)

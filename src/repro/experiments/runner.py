@@ -1,0 +1,469 @@
+"""Sweep execution: serial or process-parallel, resumable, deterministic.
+
+The runner walks a :class:`~repro.experiments.spec.SweepSpec`'s expanded job
+list, skips every job whose address already exists in the
+:class:`~repro.experiments.store.ResultStore`, and executes the rest either
+in-process (``jobs=1``) or on a ``ProcessPoolExecutor``.  Three properties
+hold regardless of execution mode:
+
+* **Determinism** — every stochastic input is derived from the specs
+  (trained weights from the workload seed, Monte Carlo trials from
+  ``utils.rng.derive_seed`` via the keyed noise stacks), so a worker process
+  computes bit-identical results to an in-process run.
+* **Order independence** — the aggregate table is assembled from the store
+  in job-index order after execution, so completion order (and worker
+  count) cannot reorder or change the rows.
+* **Crash safety** — each finished job is atomically persisted before the
+  next is scheduled; Ctrl-C (or a crash) loses at most the in-flight jobs,
+  and a rerun resumes from the store.
+
+The noise-free clean reference of Monte Carlo jobs is itself a store
+artifact (see :meth:`JobSpec.clean_job`): computed once per (workload, ADC
+config) by whichever job needs it first, then shared by every sibling —
+across grid points, worker processes, and resumed runs.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import dataclasses
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.experiments.spec import ExperimentSpec, JobSpec, SweepSpec
+from repro.experiments.store import ResultStore, code_version_salt, job_key
+from repro.report.experiments import ExperimentRecord
+from repro.sim.stats import SimulationResult
+from repro.utils.logging import get_logger
+
+logger = get_logger("experiments.runner")
+
+# Per-process memos (workers inherit empty copies; an in-process serial run
+# reuses prepared workloads and clean references across its jobs).
+_WORKLOAD_MEMO: Dict[str, object] = {}
+_CLEAN_MEMO: Dict[str, SimulationResult] = {}
+
+
+def clear_runner_memos() -> None:
+    """Drop the per-process workload/clean-reference memos (for benchmarks
+    that need successive timed runs to start cold)."""
+    _WORKLOAD_MEMO.clear()
+    _CLEAN_MEMO.clear()
+
+
+# --------------------------------------------------------------------- #
+# Single-job execution
+# --------------------------------------------------------------------- #
+def _prepared_workload(job: JobSpec, weights_cache_dir: Optional[str]):
+    from repro.workloads import prepare_workload
+
+    spec = job.workload
+    memo_key = f"{spec!r}|{weights_cache_dir}"
+    prepared = _WORKLOAD_MEMO.get(memo_key)
+    if prepared is None:
+        prepared = prepare_workload(
+            spec.name,
+            preset=spec.preset,
+            train_size=spec.train_size,
+            test_size=spec.test_size,
+            calibration_images=spec.calibration_images,
+            epochs=spec.epochs,
+            seed=spec.seed,
+            cache_dir=weights_cache_dir,
+        )
+        _WORKLOAD_MEMO[memo_key] = prepared
+    return prepared
+
+
+def _clean_reference(
+    job: JobSpec,
+    store: ResultStore,
+    weights_cache_dir: Optional[str],
+    salt: Optional[str],
+) -> SimulationResult:
+    """Load-or-compute the shared deterministic reference of a MC job."""
+    clean_job = job.clean_job()
+    key = job_key(clean_job, salt)
+    # Memoised per (store, key): the reference must be *persisted* into the
+    # store this sweep is writing, or its MC artifacts would carry a
+    # dangling clean_key when one process runs sweeps against two stores.
+    memo_key = (str(store.root.resolve()), key)
+    memo = _CLEAN_MEMO.get(memo_key)
+    if memo is not None:
+        return memo
+    if store.has(key):
+        payload = store.load(key)
+        arrays = store.load_arrays(key)
+        result = SimulationResult.from_payload(
+            payload["result"], arrays.get("logits"), arrays.get("labels")
+        )
+    else:
+        result = _execute_evaluate(clean_job, store, weights_cache_dir, salt, key)
+    _CLEAN_MEMO[memo_key] = result
+    return result
+
+
+def _execute_evaluate(
+    job: JobSpec,
+    store: ResultStore,
+    weights_cache_dir: Optional[str],
+    salt: Optional[str],
+    key: str,
+) -> SimulationResult:
+    prepared = _prepared_workload(job, weights_cache_dir)
+    simulator = prepared.simulator
+    split = prepared.eval_split(job.images)
+    configs = job.adc.build_configs(simulator.layer_names())
+    result = simulator.evaluate(
+        split.images, split.labels, configs, batch_size=job.batch_size
+    )
+    # Rows are stored label-free (labels are reporting metadata merged in at
+    # aggregation time), so the artifact is identical no matter which sweep
+    # — or which grid point — computed it first.
+    row = result.summary()
+    row["float_accuracy"] = prepared.float_accuracy
+    payload = {
+        "key": key,
+        "salt": salt if salt is not None else code_version_salt(),
+        "spec": job.to_dict(),
+        "row": row,
+        "result": result.to_payload(),
+    }
+    arrays = {"logits": result.logits}
+    if result.labels is not None:
+        arrays["labels"] = result.labels
+    store.save(key, payload, arrays)
+    return result
+
+
+def _execute_monte_carlo(
+    job: JobSpec,
+    store: ResultStore,
+    weights_cache_dir: Optional[str],
+    salt: Optional[str],
+    key: str,
+) -> None:
+    clean = _clean_reference(job, store, weights_cache_dir, salt)
+    prepared = _prepared_workload(job, weights_cache_dir)
+    simulator = prepared.simulator
+    split = prepared.eval_split(job.images)
+    configs = job.adc.build_configs(simulator.layer_names())
+    stack = job.noise.build_stack()
+    result = simulator.run_monte_carlo(
+        split.images,
+        split.labels,
+        stack,
+        adc_configs=configs,
+        trials=job.trials,
+        batch_size=job.batch_size,
+        seed=job.mc_seed,
+        confidence=job.confidence,
+        clean=clean,
+    )
+    row = result.summary()
+    payload = {
+        "key": key,
+        "salt": salt if salt is not None else code_version_salt(),
+        "spec": job.to_dict(),
+        "row": row,
+        "clean_key": job_key(job.clean_job(), salt),
+        "layer_stats": {
+            name: dataclasses.asdict(stats)
+            for name, stats in result.layer_stats.items()
+        },
+    }
+    arrays = {"accuracies": result.accuracies, "flip_rates": result.flip_rates}
+    store.save(key, payload, arrays)
+
+
+def _execute_calibration(
+    job: JobSpec,
+    store: ResultStore,
+    weights_cache_dir: Optional[str],
+    salt: Optional[str],
+    key: str,
+) -> None:
+    from repro.core import CoDesignOptimizer, SearchSpaceConfig
+    from repro.datasets import sample_calibration_set
+
+    prepared = _prepared_workload(job, weights_cache_dir)
+    split = prepared.eval_split(job.images)
+    params = job.calibration
+    calibration = sample_calibration_set(
+        prepared.dataset.train,
+        num_images=params.calibration_size,
+        seed=params.resolved_calib_seed,
+    )
+    optimizer = CoDesignOptimizer(
+        prepared.model,
+        calibration.images,
+        calibration.labels,
+        search_space=SearchSpaceConfig(
+            num_v_grid_candidates=params.num_v_grid_candidates
+        ),
+        max_samples_per_layer=params.max_samples_per_layer,
+    )
+    result = optimizer.run(
+        split.images,
+        split.labels,
+        batch_size=job.batch_size,
+        use_accuracy_loop=params.use_accuracy_loop,
+        initial_n_max=params.initial_n_max,
+    )
+    row = {
+        "baseline_accuracy": result.baseline_accuracy,
+        "accuracy": result.final_accuracy,
+        "accuracy_drop": result.accuracy_drop,
+        "remaining_ops_fraction": result.remaining_ops_fraction,
+        "ops_reduction_factor": result.ops_reduction_factor,
+    }
+    payload = {
+        "key": key,
+        "salt": salt if salt is not None else code_version_salt(),
+        "spec": job.to_dict(),
+        "row": row,
+    }
+    store.save(key, payload)
+
+
+def execute_job(
+    job: JobSpec,
+    store: ResultStore,
+    weights_cache_dir: Optional[str] = None,
+    salt: Optional[str] = None,
+) -> str:
+    """Execute one atomic job, persist its artifact, return its key.
+
+    Idempotent: if the store already holds the key, nothing is computed.
+    """
+    key = job_key(job, salt)
+    if store.has(key):
+        return key
+    started = time.perf_counter()
+    if job.kind == "evaluate":
+        _execute_evaluate(job, store, weights_cache_dir, salt, key)
+    elif job.kind == "monte_carlo":
+        _execute_monte_carlo(job, store, weights_cache_dir, salt, key)
+    elif job.kind == "calibration":
+        _execute_calibration(job, store, weights_cache_dir, salt, key)
+    else:  # pragma: no cover - JobSpec validates kinds
+        raise ValueError(f"unknown job kind {job.kind!r}")
+    logger.debug("job %s (%s) in %.2fs", key[:12], job.kind, time.perf_counter() - started)
+    return key
+
+
+def _worker_execute(
+    job_dict: Dict[str, object],
+    store_root: str,
+    weights_cache_dir: Optional[str],
+    salt: Optional[str],
+) -> str:
+    """Top-level (picklable) entry point for pool workers."""
+    job = JobSpec.from_dict(job_dict)
+    return execute_job(job, ResultStore(store_root), weights_cache_dir, salt)
+
+
+# --------------------------------------------------------------------- #
+# Sweep execution
+# --------------------------------------------------------------------- #
+@dataclasses.dataclass
+class SweepRunStats:
+    """Execution accounting of one ``run_sweep`` call."""
+
+    total: int = 0
+    cached: int = 0
+    computed: int = 0
+    elapsed_s: float = 0.0
+
+
+@dataclasses.dataclass
+class SweepRun:
+    """Outcome of :func:`run_sweep`: the ordered rows and their record."""
+
+    sweep: SweepSpec
+    keys: List[str]
+    rows: List[Dict[str, object]]
+    record: ExperimentRecord
+    stats: SweepRunStats
+
+
+def prewarm_workloads(
+    sweep_or_jobs: Union[SweepSpec, List[JobSpec]],
+    weights_cache_dir: Optional[str],
+    progress: Optional[Callable[[str], None]] = None,
+) -> None:
+    """Train (and disk-cache) every unique workload of the jobs, serially.
+
+    Called before a parallel run so worker processes load the trained
+    weights from the cache instead of each re-training them.  Weights are
+    deterministic either way; this is purely a wall-clock optimisation.
+    ``run_sweep`` passes only its *pending* jobs, so fully-cached workloads
+    are never prepared just to be skipped.
+    """
+    if isinstance(sweep_or_jobs, SweepSpec):
+        jobs = sweep_or_jobs.expand()
+    else:
+        jobs = list(sweep_or_jobs)
+    seen = set()
+    for job in jobs:
+        spec = job.workload
+        marker = repr(spec)
+        if marker in seen:
+            continue
+        seen.add(marker)
+        if progress is not None:
+            progress(f"prewarm: preparing workload {spec.name} ({spec.preset})")
+        _prepared_workload(job, weights_cache_dir)
+
+
+def run_sweep(
+    sweep: SweepSpec,
+    store: Union[ResultStore, str, Path],
+    jobs: int = 1,
+    force: bool = False,
+    weights_cache_dir: Optional[str] = None,
+    salt: Optional[str] = None,
+    prewarm: Optional[bool] = None,
+    experiment: Optional[ExperimentSpec] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> SweepRun:
+    """Execute a sweep against a result store and aggregate its table.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes; ``1`` executes in-process (no pool).
+    force:
+        Delete the sweep's existing artifacts (including shared clean
+        references) first, recomputing everything.
+    prewarm:
+        Train workload weights in the parent before forking workers.
+        Defaults to ``jobs > 1 and weights_cache_dir is not None``.
+    experiment:
+        Reporting identity; defaults to one derived from the sweep name.
+
+    The returned :class:`SweepRun` carries rows in expansion order; the
+    aggregate is identical whether the sweep ran serially, in parallel, or
+    across several interrupted+resumed invocations, because rows are read
+    back from the content-addressed artifacts.
+    """
+    if not isinstance(store, ResultStore):
+        store = ResultStore(store)
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    started = time.perf_counter()
+    expanded = sweep.expand()
+    keys = [job_key(job, salt) for job in expanded]
+
+    if force:
+        for job, key in zip(expanded, keys):
+            store.delete(key)
+            if job.kind == "monte_carlo":
+                store.delete(job_key(job.clean_job(), salt))
+        _CLEAN_MEMO.clear()
+
+    pending = [
+        (index, job) for index, (job, key) in enumerate(zip(expanded, keys))
+        if not store.has(key)
+    ]
+    stats = SweepRunStats(total=len(expanded), cached=len(expanded) - len(pending))
+    if progress is not None:
+        progress(
+            f"sweep '{sweep.name}': {stats.total} jobs, "
+            f"{stats.cached} cached, {len(pending)} to run (jobs={jobs})"
+        )
+
+    if pending:
+        if prewarm is None:
+            prewarm = jobs > 1 and weights_cache_dir is not None
+        if prewarm:
+            prewarm_workloads([job for _, job in pending], weights_cache_dir, progress)
+        if jobs == 1:
+            for index, job in pending:
+                execute_job(job, store, weights_cache_dir, salt)
+                stats.computed += 1
+                if progress is not None:
+                    progress(f"  [{stats.cached + stats.computed}/{stats.total}] "
+                             f"{job.kind} {job.label_dict}")
+        else:
+            # First wave: the unique clean references the pending Monte
+            # Carlo jobs will share.  Materialised before the MC fan-out so
+            # concurrent workers don't race past the store check and each
+            # recompute the same reference ("computed once per (workload,
+            # config)" is a wall-clock contract, not just a storage one).
+            clean_wave: Dict[str, JobSpec] = {}
+            for _, job in pending:
+                if job.kind == "monte_carlo":
+                    clean = job.clean_job()
+                    clean_key = job_key(clean, salt)
+                    if not store.has(clean_key):
+                        clean_wave.setdefault(clean_key, clean)
+            with concurrent.futures.ProcessPoolExecutor(max_workers=jobs) as pool:
+                if clean_wave:
+                    if progress is not None:
+                        progress(f"  computing {len(clean_wave)} shared clean "
+                                 "reference(s)")
+                    wave = [
+                        pool.submit(
+                            _worker_execute, job.to_dict(), str(store.root),
+                            weights_cache_dir, salt,
+                        )
+                        for job in clean_wave.values()
+                    ]
+                    try:
+                        for future in concurrent.futures.as_completed(wave):
+                            future.result()
+                    except KeyboardInterrupt:
+                        pool.shutdown(wait=False, cancel_futures=True)
+                        raise
+                futures = {
+                    pool.submit(
+                        _worker_execute,
+                        job.to_dict(),
+                        str(store.root),
+                        weights_cache_dir,
+                        salt,
+                    ): (index, job)
+                    for index, job in pending
+                }
+                try:
+                    for future in concurrent.futures.as_completed(futures):
+                        future.result()  # re-raise worker failures
+                        stats.computed += 1
+                        if progress is not None:
+                            index, job = futures[future]
+                            progress(
+                                f"  [{stats.cached + stats.computed}/{stats.total}] "
+                                f"{job.kind} {job.label_dict}"
+                            )
+                except KeyboardInterrupt:
+                    # Completed jobs are already persisted; drop the rest and
+                    # surface the interrupt so the CLI can print a resume hint.
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    raise
+
+    # Deterministic aggregation: rows come from the store in job order (so
+    # completion order / worker count / resume history cannot influence
+    # them), with each job's grid-coordinate labels merged in from the spec.
+    rows = [
+        {**job.label_dict, **store.load(key)["row"]}
+        for job, key in zip(expanded, keys)
+    ]
+    stats.elapsed_s = time.perf_counter() - started
+
+    if experiment is None:
+        experiment = ExperimentSpec(experiment_id=sweep.name, sweep=sweep)
+    record = ExperimentRecord(
+        experiment_id=experiment.experiment_id,
+        description=experiment.description or f"experiment sweep '{sweep.name}'",
+        paper_reference=experiment.paper_reference,
+        rows=rows,
+        metadata={
+            "sweep": sweep.to_dict(),
+            "salt": salt if salt is not None else code_version_salt(),
+            "num_jobs": len(expanded),
+            "job_keys": keys,
+        },
+    )
+    return SweepRun(sweep=sweep, keys=keys, rows=rows, record=record, stats=stats)

@@ -1,0 +1,549 @@
+"""Declarative experiment specs.
+
+A sweep is described *declaratively* — which workloads, which ADC
+configurations, which non-ideality scenarios, which Monte Carlo seeds — and
+:meth:`SweepSpec.expand` turns the grid into an ordered list of *atomic*
+:class:`JobSpec` jobs.  Every job resolves to a plain-JSON dict
+(:meth:`JobSpec.resolved`) that includes the workload's full configuration
+fingerprint (:func:`repro.workloads.workload_fingerprint`), which is what
+the content-addressed result store hashes: two jobs with the same resolved
+dict are the same experiment, and any edited field — a preset's width
+multiplier, a noise sigma, a trial count — yields a new address.
+
+Three job kinds cover the repository's evaluation surface:
+
+* ``evaluate`` — one deterministic (noise-free) datapath run under a given
+  per-layer ADC configuration; also serves as the shared *clean reference*
+  of Monte Carlo jobs (:meth:`JobSpec.clean_job`).
+* ``monte_carlo`` — :meth:`repro.sim.PimSimulator.run_monte_carlo` trials
+  under a keyed non-ideality stack.
+* ``calibration`` — the Algorithm 1 co-design search
+  (:class:`repro.core.CoDesignOptimizer`) under varying calibration budgets.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.adc.config import AdcConfig, twin_range_config, uniform_config
+from repro.core.trq import TRQParams
+from repro.utils.config import canonical_json
+from repro.workloads import default_epochs, workload_fingerprint
+
+JOB_KINDS = ("evaluate", "monte_carlo", "calibration")
+
+
+# --------------------------------------------------------------------- #
+# Grid axes
+# --------------------------------------------------------------------- #
+@dataclasses.dataclass(frozen=True)
+class WorkloadSpec:
+    """One workload preparation configuration (model + dataset + training)."""
+
+    name: str
+    preset: str = "tiny"
+    train_size: int = 384
+    test_size: int = 128
+    calibration_images: int = 32
+    epochs: Optional[int] = None
+    seed: int = 0
+
+    @property
+    def resolved_epochs(self) -> int:
+        return self.epochs if self.epochs is not None else default_epochs(self.preset)
+
+    def resolved(self) -> Dict[str, object]:
+        """Fully-resolved configuration, including the registry fingerprint.
+
+        The fingerprint folds in the preset's structural parameters and the
+        workload's dataset shape, so editing either re-addresses every
+        dependent artifact.
+        """
+        return {
+            "fingerprint": workload_fingerprint(
+                self.name, self.preset, self.train_size, self.resolved_epochs, self.seed
+            ),
+            "test_size": int(self.test_size),
+            "calibration_images": int(self.calibration_images),
+        }
+
+    def to_dict(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "WorkloadSpec":
+        return cls(**data)
+
+
+@dataclasses.dataclass(frozen=True)
+class AdcSpec:
+    """Per-layer ADC configuration applied uniformly to every MVM layer.
+
+    ``mode="ideal"`` is the no-ADC reference (ideal conversion).  The
+    twin-range defaults are the TRQ parameters the benchmarks use.
+    """
+
+    mode: str = "twin_range"  # "ideal" | "uniform" | "twin_range"
+    resolution: int = 8
+    v_grid: float = 1.0
+    uniform_bits: Optional[int] = None
+    n_r1: int = 2
+    n_r2: int = 5
+    m: int = 3
+    delta_r1: float = 1.0
+    bias: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("ideal", "uniform", "twin_range"):
+            raise ValueError(f"unknown ADC mode {self.mode!r}")
+        self.build_config()  # validate eagerly
+
+    def build_config(self) -> Optional[AdcConfig]:
+        """The :class:`~repro.adc.config.AdcConfig` this spec denotes."""
+        if self.mode == "ideal":
+            return None
+        if self.mode == "uniform":
+            return uniform_config(
+                resolution=self.resolution, bits=self.uniform_bits, v_grid=self.v_grid
+            )
+        params = TRQParams(
+            n_r1=self.n_r1, n_r2=self.n_r2, m=self.m,
+            delta_r1=self.delta_r1, bias=self.bias,
+        )
+        return twin_range_config(params, resolution=self.resolution, v_grid=self.v_grid)
+
+    def build_configs(self, layer_names: Sequence[str]) -> Optional[Dict[str, AdcConfig]]:
+        config = self.build_config()
+        if config is None:
+            return None
+        return {name: config for name in layer_names}
+
+    def resolved(self) -> Dict[str, object]:
+        """Only the fields the mode actually consumes, so e.g. editing the
+        (unused) TRQ defaults of a ``uniform`` spec cannot re-address
+        results that are bit-identical."""
+        if self.mode == "ideal":
+            return {"mode": self.mode}
+        base = {
+            "mode": self.mode,
+            "resolution": int(self.resolution),
+            "v_grid": float(self.v_grid),
+        }
+        if self.mode == "uniform":
+            bits = self.uniform_bits if self.uniform_bits is not None else self.resolution
+            base["uniform_bits"] = int(bits)
+            return base
+        base.update(
+            n_r1=int(self.n_r1), n_r2=int(self.n_r2), m=int(self.m),
+            delta_r1=float(self.delta_r1), bias=int(self.bias),
+        )
+        return base
+
+    def to_dict(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "AdcSpec":
+        return cls(**data)
+
+
+@dataclasses.dataclass(frozen=True)
+class NoiseScenario:
+    """One point of the non-ideality axis: registry model specs + base seed.
+
+    ``models`` are the serializable registry dicts
+    (:meth:`repro.nonideal.NonIdealityStack.specs` round-trips them); an
+    empty tuple is the noise-free scenario.  ``label`` carries the sweep
+    coordinates (e.g. ``{"sigma": 0.5, "fault_rate": 1e-3}``) into the
+    aggregate table.
+    """
+
+    models: Tuple[Dict[str, object], ...] = ()
+    seed: int = 0
+    label: Tuple[Tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        # Normalise mutable inputs (lists of dicts, dict labels) to the
+        # hashable tuple forms the frozen dataclass stores.
+        object.__setattr__(self, "models", tuple(dict(m) for m in self.models))
+        label = self.label
+        if isinstance(label, dict):
+            label = tuple(sorted(label.items()))
+        object.__setattr__(self, "label", tuple(tuple(item) for item in label))
+
+    @property
+    def label_dict(self) -> Dict[str, object]:
+        return dict(self.label)
+
+    def build_stack(self):
+        """The keyed :class:`~repro.nonideal.NonIdealityStack` (or ``None``)."""
+        if not self.models:
+            return None
+        from repro.nonideal.stack import NonIdealityStack
+
+        return NonIdealityStack.from_specs(list(self.models), seed=self.seed)
+
+    def resolved(self) -> Dict[str, object]:
+        # ``label`` is reporting metadata (like JobSpec.label) and stays out
+        # of the content address: relabelling a scenario must serve the
+        # cached results, not re-run the grid.
+        return {
+            "models": [dict(m) for m in self.models],
+            "seed": int(self.seed),
+        }
+
+    def to_dict(self) -> Dict[str, object]:
+        return {**self.resolved(), "label": self.label_dict}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "NoiseScenario":
+        return cls(
+            models=tuple(dict(m) for m in data.get("models", ())),
+            seed=int(data.get("seed", 0)),
+            label=data.get("label", ()),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class CalibrationParams:
+    """Knobs of one Algorithm 1 co-design run (``kind="calibration"``)."""
+
+    calibration_size: int = 32
+    calib_seed: Optional[int] = None  # None: use calibration_size (legacy sweep)
+    num_v_grid_candidates: int = 12
+    max_samples_per_layer: int = 8192
+    use_accuracy_loop: bool = False
+    initial_n_max: int = 4
+
+    @property
+    def resolved_calib_seed(self) -> int:
+        return self.calib_seed if self.calib_seed is not None else self.calibration_size
+
+    def resolved(self) -> Dict[str, object]:
+        data = dataclasses.asdict(self)
+        data["calib_seed"] = self.resolved_calib_seed
+        return data
+
+    def to_dict(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "CalibrationParams":
+        return cls(**data)
+
+
+# --------------------------------------------------------------------- #
+# Atomic job
+# --------------------------------------------------------------------- #
+@dataclasses.dataclass(frozen=True)
+class JobSpec:
+    """One hashable atomic job of a sweep.
+
+    ``label`` carries the job's grid coordinates into the aggregate row but
+    is *reporting metadata*: it is excluded from the resolved spec (and
+    therefore from the content address), so relabelling a sweep does not
+    re-run it, and a Monte Carlo job's clean reference shares one artifact
+    with the zero-noise grid point of the same configuration.  Labels are
+    merged into rows at aggregation time from the spec itself, keeping the
+    stored artifacts label-independent.
+    """
+
+    kind: str
+    workload: WorkloadSpec
+    adc: AdcSpec = AdcSpec()
+    images: int = 32
+    batch_size: int = 16
+    engine: str = "fast"
+    noise: Optional[NoiseScenario] = None
+    trials: int = 0
+    mc_seed: int = 0
+    confidence: float = 0.95
+    calibration: Optional[CalibrationParams] = None
+    label: Tuple[Tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in JOB_KINDS:
+            raise ValueError(f"unknown job kind {self.kind!r} (expected {JOB_KINDS})")
+        if self.kind == "monte_carlo":
+            # (Zero-noise scenarios are rewritten to evaluate jobs by
+            # SweepSpec.expand, so a monte_carlo job always carries models.)
+            if self.noise is None or not self.noise.models:
+                raise ValueError("monte_carlo jobs need a non-empty noise scenario")
+            if self.trials < 1:
+                raise ValueError("monte_carlo jobs need trials >= 1")
+        if self.kind == "calibration" and self.calibration is None:
+            raise ValueError("calibration jobs need calibration params")
+        label = self.label
+        if isinstance(label, dict):
+            label = tuple(sorted(label.items()))
+        object.__setattr__(self, "label", tuple(tuple(item) for item in label))
+
+    # ------------------------------------------------------------------ #
+    @property
+    def label_dict(self) -> Dict[str, object]:
+        return dict(self.label)
+
+    def resolved(self) -> Dict[str, object]:
+        """The fully-resolved plain-JSON job description that gets hashed.
+
+        Only inputs the job kind actually consumes are included, so editing
+        an irrelevant field can never re-address (and hence recompute) a
+        bit-identical result — e.g. calibration jobs ignore the sweep's ADC
+        spec and engine because Algorithm 1 derives its own configurations
+        on the default engine.
+        """
+        data: Dict[str, object] = {
+            "kind": self.kind,
+            "workload": self.workload.resolved(),
+            "images": int(self.images),
+            "batch_size": int(self.batch_size),
+        }
+        if self.kind in ("evaluate", "monte_carlo"):
+            data["adc"] = self.adc.resolved()
+            data["engine"] = self.engine
+        if self.kind == "monte_carlo":
+            data["noise"] = None if self.noise is None else self.noise.resolved()
+            data["trials"] = int(self.trials)
+            data["mc_seed"] = int(self.mc_seed)
+            data["confidence"] = float(self.confidence)
+        if self.kind == "calibration":
+            data["calibration"] = self.calibration.resolved()
+        return data
+
+    def canonical(self) -> str:
+        return canonical_json(self.resolved())
+
+    def clean_job(self) -> "JobSpec":
+        """The deterministic reference job shared by Monte Carlo siblings.
+
+        Every ``monte_carlo`` job over the same (workload, ADC config,
+        images, batch size, engine) maps to the *same* clean job — and hence
+        the same store address — so the noise-free reference is computed
+        once per configuration and shared across trials, grid points, and
+        resumed runs.
+        """
+        return JobSpec(
+            kind="evaluate",
+            workload=self.workload,
+            adc=self.adc,
+            images=self.images,
+            batch_size=self.batch_size,
+            engine=self.engine,
+        )
+
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "workload": self.workload.to_dict(),
+            "adc": self.adc.to_dict(),
+            "images": self.images,
+            "batch_size": self.batch_size,
+            "engine": self.engine,
+            "noise": None if self.noise is None else self.noise.to_dict(),
+            "trials": self.trials,
+            "mc_seed": self.mc_seed,
+            "confidence": self.confidence,
+            "calibration": None if self.calibration is None else self.calibration.to_dict(),
+            "label": self.label_dict,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "JobSpec":
+        return cls(
+            kind=data["kind"],
+            workload=WorkloadSpec.from_dict(data["workload"]),
+            adc=AdcSpec.from_dict(data.get("adc", {})),
+            images=int(data.get("images", 32)),
+            batch_size=int(data.get("batch_size", 16)),
+            engine=data.get("engine", "fast"),
+            noise=(
+                None if data.get("noise") is None
+                else NoiseScenario.from_dict(data["noise"])
+            ),
+            trials=int(data.get("trials", 0)),
+            mc_seed=int(data.get("mc_seed", 0)),
+            confidence=float(data.get("confidence", 0.95)),
+            calibration=(
+                None if data.get("calibration") is None
+                else CalibrationParams.from_dict(data["calibration"])
+            ),
+            label=data.get("label", ()),
+        )
+
+
+# --------------------------------------------------------------------- #
+# Declarative sweep
+# --------------------------------------------------------------------- #
+@dataclasses.dataclass
+class SweepSpec:
+    """A declarative grid over workloads × ADC configs × noise × MC seeds.
+
+    :meth:`expand` enumerates the grid in a fixed nesting order (workload,
+    then ADC, then noise scenario, then Monte Carlo seed / calibration
+    point), so job indices — and therefore the order of the aggregate
+    table's rows — are deterministic regardless of how the jobs execute.
+    """
+
+    name: str
+    kind: str = "monte_carlo"
+    workloads: List[WorkloadSpec] = dataclasses.field(default_factory=list)
+    adcs: List[AdcSpec] = dataclasses.field(default_factory=lambda: [AdcSpec()])
+    noises: List[NoiseScenario] = dataclasses.field(default_factory=list)
+    mc_seeds: List[int] = dataclasses.field(default_factory=lambda: [0])
+    calibrations: List[CalibrationParams] = dataclasses.field(default_factory=list)
+    trials: int = 2
+    images: int = 32
+    batch_size: int = 16
+    engine: str = "fast"
+    confidence: float = 0.95
+
+    def __post_init__(self) -> None:
+        if self.kind not in JOB_KINDS:
+            raise ValueError(f"unknown sweep kind {self.kind!r} (expected {JOB_KINDS})")
+        if not self.workloads:
+            raise ValueError("a sweep needs at least one workload")
+
+    # ------------------------------------------------------------------ #
+    def expand(self) -> List[JobSpec]:
+        """The ordered atomic jobs of the grid."""
+        jobs: List[JobSpec] = []
+        multi_wl = len(self.workloads) > 1
+        multi_adc = len(self.adcs) > 1
+        multi_seed = len(self.mc_seeds) > 1
+        for workload in self.workloads:
+            for adc in self.adcs:
+                base_label: Dict[str, object] = {"workload": workload.name}
+                if multi_wl:
+                    base_label["preset"] = workload.preset
+                if multi_adc:
+                    base_label["adc"] = _adc_label(adc)
+                if self.kind == "evaluate":
+                    jobs.append(
+                        JobSpec(
+                            kind="evaluate", workload=workload, adc=adc,
+                            images=self.images, batch_size=self.batch_size,
+                            engine=self.engine, label=base_label,
+                        )
+                    )
+                elif self.kind == "monte_carlo":
+                    for noise in self.noises or [NoiseScenario()]:
+                        if not noise.models:
+                            # A noise-free scenario *is* the clean reference:
+                            # one deterministic evaluate job (the MC-seed axis
+                            # is meaningless for it) instead of trivial trials.
+                            label = dict(base_label)
+                            label.update(noise.label_dict)
+                            jobs.append(
+                                JobSpec(
+                                    kind="evaluate", workload=workload,
+                                    adc=adc, images=self.images,
+                                    batch_size=self.batch_size,
+                                    engine=self.engine, label=label,
+                                )
+                            )
+                            continue
+                        for mc_seed in self.mc_seeds:
+                            label = dict(base_label)
+                            label.update(noise.label_dict)
+                            if multi_seed:
+                                label["mc_seed"] = mc_seed
+                            jobs.append(
+                                JobSpec(
+                                    kind="monte_carlo", workload=workload,
+                                    adc=adc, images=self.images,
+                                    batch_size=self.batch_size,
+                                    engine=self.engine, noise=noise,
+                                    trials=self.trials, mc_seed=mc_seed,
+                                    confidence=self.confidence, label=label,
+                                )
+                            )
+                else:  # calibration
+                    for calibration in self.calibrations or [CalibrationParams()]:
+                        label = dict(base_label)
+                        label["calibration_images"] = calibration.calibration_size
+                        jobs.append(
+                            JobSpec(
+                                kind="calibration", workload=workload, adc=adc,
+                                images=self.images, batch_size=self.batch_size,
+                                engine=self.engine, calibration=calibration,
+                                label=label,
+                            )
+                        )
+        return jobs
+
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "workloads": [w.to_dict() for w in self.workloads],
+            "adcs": [a.to_dict() for a in self.adcs],
+            "noises": [n.to_dict() for n in self.noises],
+            "mc_seeds": list(self.mc_seeds),
+            "calibrations": [c.to_dict() for c in self.calibrations],
+            "trials": self.trials,
+            "images": self.images,
+            "batch_size": self.batch_size,
+            "engine": self.engine,
+            "confidence": self.confidence,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SweepSpec":
+        return cls(
+            name=data["name"],
+            kind=data.get("kind", "monte_carlo"),
+            workloads=[WorkloadSpec.from_dict(w) for w in data.get("workloads", [])],
+            adcs=[AdcSpec.from_dict(a) for a in data.get("adcs", [{}])],
+            noises=[NoiseScenario.from_dict(n) for n in data.get("noises", [])],
+            mc_seeds=[int(s) for s in data.get("mc_seeds", [0])],
+            calibrations=[
+                CalibrationParams.from_dict(c) for c in data.get("calibrations", [])
+            ],
+            trials=int(data.get("trials", 2)),
+            images=int(data.get("images", 32)),
+            batch_size=int(data.get("batch_size", 16)),
+            engine=data.get("engine", "fast"),
+            confidence=float(data.get("confidence", 0.95)),
+        )
+
+
+@dataclasses.dataclass
+class ExperimentSpec:
+    """A named experiment: one sweep plus its reporting identity."""
+
+    experiment_id: str
+    sweep: SweepSpec
+    description: str = ""
+    paper_reference: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "experiment_id": self.experiment_id,
+            "description": self.description,
+            "paper_reference": self.paper_reference,
+            "sweep": self.sweep.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ExperimentSpec":
+        if "sweep" not in data:  # a bare sweep dict is accepted too
+            sweep = SweepSpec.from_dict(data)
+            return cls(experiment_id=sweep.name, sweep=sweep)
+        return cls(
+            experiment_id=data["experiment_id"],
+            sweep=SweepSpec.from_dict(data["sweep"]),
+            description=data.get("description", ""),
+            paper_reference=data.get("paper_reference", ""),
+        )
+
+
+def _adc_label(adc: AdcSpec) -> str:
+    if adc.mode == "ideal":
+        return "ideal"
+    if adc.mode == "uniform":
+        bits = adc.uniform_bits if adc.uniform_bits is not None else adc.resolution
+        return f"uniform{bits}"
+    return f"trq{adc.n_r1}-{adc.n_r2}-m{adc.m}b{adc.bias}"

@@ -1,0 +1,121 @@
+"""Content-addressed result store.
+
+Every atomic job's address is the SHA-256 of its canonical resolved spec
+(:meth:`repro.experiments.spec.JobSpec.resolved`) plus the *code-version
+salt*.  The salt bumps whenever the semantics of stored results change —
+a new package version, a result-schema revision — so stale artifacts are
+never served across incompatible code; CI keys its ``actions/cache`` of the
+store on the same salt.
+
+Artifacts are a JSON document (``<key>.json``: the job spec, the salt, and
+the aggregate row) plus an optional NPZ sibling (``<key>.npz``) for exact
+float arrays — the clean reference's logits travel this way so a restored
+:class:`~repro.sim.stats.SimulationResult` is bit-identical to the original.
+Writes are atomic (temp file + ``os.replace``), so a sweep killed mid-write
+never leaves a truncated artifact for ``--resume`` to trip over.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Union
+
+import numpy as np
+
+import repro
+from repro.experiments.spec import JobSpec
+from repro.utils.config import stable_digest
+
+#: Bump when the stored result schema (payload layout, row fields) changes.
+RESULT_SCHEMA_VERSION = 1
+
+
+def code_version_salt() -> str:
+    """The salt folded into every job address (and the CI cache key)."""
+    return f"{repro.__version__}/schema-v{RESULT_SCHEMA_VERSION}"
+
+
+def job_key(job: JobSpec, salt: Optional[str] = None) -> str:
+    """Stable content address of one fully-resolved job."""
+    return stable_digest(
+        {"salt": salt if salt is not None else code_version_salt(),
+         "job": job.resolved()},
+        length=0,  # full 64-hex digest
+    )
+
+
+class ResultStore:
+    """JSON/NPZ artifacts under one root directory, addressed by job key."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------ #
+    def json_path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def npz_path(self, key: str) -> Path:
+        return self.root / f"{key}.npz"
+
+    def has(self, key: str) -> bool:
+        return self.json_path(key).exists()
+
+    def keys(self) -> Iterator[str]:
+        for path in sorted(self.root.glob("*.json")):
+            yield path.stem
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    # ------------------------------------------------------------------ #
+    def save(
+        self,
+        key: str,
+        payload: Dict[str, object],
+        arrays: Optional[Dict[str, np.ndarray]] = None,
+    ) -> Path:
+        """Atomically persist one job's payload (and optional exact arrays).
+
+        The NPZ sibling is written first so a reader that sees the JSON
+        document (the completion marker) always finds its arrays.
+        """
+        if arrays:
+            self._atomic_write(
+                self.npz_path(key),
+                lambda handle: np.savez_compressed(handle, **arrays),
+            )
+        path = self.json_path(key)
+        text = json.dumps(payload, indent=2, sort_keys=True, allow_nan=False)
+        self._atomic_write(path, lambda handle: handle.write(text.encode("utf-8")))
+        return path
+
+    def load(self, key: str) -> Dict[str, object]:
+        return json.loads(self.json_path(key).read_text())
+
+    def load_arrays(self, key: str) -> Dict[str, np.ndarray]:
+        path = self.npz_path(key)
+        if not path.exists():
+            return {}
+        with np.load(path) as data:
+            return {name: data[name] for name in data.files}
+
+    def delete(self, key: str) -> None:
+        for path in (self.json_path(key), self.npz_path(key)):
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                pass
+
+    # ------------------------------------------------------------------ #
+    def _atomic_write(self, path: Path, writer) -> None:
+        tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
+        try:
+            with open(tmp, "wb") as handle:
+                writer(handle)
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():  # writer raised before the replace
+                tmp.unlink()

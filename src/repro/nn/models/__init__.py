@@ -4,7 +4,9 @@ from repro.nn.models.lenet import LeNet5
 from repro.nn.models.registry import (
     WORKLOADS,
     available_models,
+    available_presets,
     build_model,
+    preset_structure,
     workload_info,
 )
 from repro.nn.models.resnet import BasicBlock, ResNet18, ResNet20
@@ -19,6 +21,8 @@ __all__ = [
     "SqueezeNet11",
     "WORKLOADS",
     "available_models",
+    "available_presets",
     "build_model",
+    "preset_structure",
     "workload_info",
 ]

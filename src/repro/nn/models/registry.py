@@ -43,6 +43,24 @@ def available_models() -> list:
     return sorted(WORKLOADS)
 
 
+def available_presets() -> list:
+    """Preset names accepted by :func:`build_model`."""
+    return sorted(_PRESETS)
+
+
+def preset_structure(preset: str) -> Dict:
+    """Structural knobs of a preset (width multiplier, block counts, ...).
+
+    This is part of a workload's *configuration fingerprint*: the trained
+    weight cache (:mod:`repro.workloads`) and the experiment result store
+    (:mod:`repro.experiments`) hash it so editing a preset can never serve
+    results produced under the old structure.
+    """
+    if preset not in _PRESETS:
+        raise KeyError(f"unknown preset '{preset}', available: {sorted(_PRESETS)}")
+    return dict(_PRESETS[preset])
+
+
 def workload_info(name: str) -> Dict:
     """Dataset / shape metadata for a workload name."""
     if name not in WORKLOADS:

@@ -29,12 +29,17 @@ def format_table(
     columns: Optional[Sequence[str]] = None,
     precision: int = 4,
 ) -> str:
-    """Render a list of dict rows as an aligned ASCII table."""
+    """Render a list of dict rows as an aligned ASCII table.
+
+    ``columns`` defaults to the union of the rows' keys in first-appearance
+    order, so heterogeneous rows (e.g. an experiment sweep mixing clean
+    evaluations with Monte Carlo grid points) keep every column visible.
+    """
     rows = list(rows)
     if not rows:
         return "(empty table)"
     if columns is None:
-        columns = list(rows[0].keys())
+        columns = list(dict.fromkeys(key for row in rows for key in row))
     rendered = [
         [format_cell(row.get(col, ""), precision) for col in columns] for row in rows
     ]

@@ -18,13 +18,13 @@ New code should use :mod:`repro.nonideal` directly::
 
 from __future__ import annotations
 
-import warnings
 from typing import Protocol
 
 import numpy as np
 
 from repro.nonideal import models as _models
 from repro.utils.rng import SeedLike
+from repro.utils.warnings import warn_once
 
 __all__ = ["GaussianReadNoise", "NoNoise", "NoiseModel", "ProportionalConductanceNoise"]
 
@@ -36,10 +36,13 @@ class NoiseModel(Protocol):
         ...  # pragma: no cover - protocol definition
 
 
-def _warn(old: str, new: str) -> None:
-    warnings.warn(
+def _warn(old: str, new: str, note: str = "") -> None:
+    # Once per process: a parallel sweep constructs these shims per job per
+    # worker, and repeating the identical deprecation floods the logs.
+    warn_once(
+        ("sim.fidelity", old),
         f"repro.sim.fidelity.{old} is deprecated; use repro.nonideal.{new} "
-        "(composable via NonIdealityStack, bit-identical across engines)",
+        f"(composable via NonIdealityStack, bit-identical across engines){note}",
         DeprecationWarning,
         stacklevel=3,
     )
@@ -79,10 +82,19 @@ class ProportionalConductanceNoise(_models.ConductanceVariation):
     The old model rescaled every value by ``1 + N(0, σ)`` with a fresh draw
     per access; the keyed replacement draws log-normal per-column factors
     fixed at programming time — the physically faithful reading of
-    conductance variation, and statistically equivalent at small ``σ``.
+    conductance variation.  The two processes have comparable magnitude at
+    small ``σ`` but different correlation structure (static per-column vs
+    independent per-access), so results are **not** numerically comparable
+    to pre-deprecation runs; the warning says so.
     """
 
     def __init__(self, sigma: float, seed: SeedLike = None) -> None:
-        _warn("ProportionalConductanceNoise", "ConductanceVariation")
+        _warn(
+            "ProportionalConductanceNoise", "ConductanceVariation",
+            note=". NOTE: the numerics changed — variation factors are now "
+                 "log-normal and fixed per column at programming time "
+                 "instead of redrawn per access, so accuracy numbers differ "
+                 "from pre-deprecation runs",
+        )
         super().__init__(sigma=sigma)
         self.seed = _as_seed(seed)

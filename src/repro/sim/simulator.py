@@ -178,7 +178,11 @@ class PimSimulator:
         Sweeps that call this repeatedly with the same images and
         ``adc_configs`` can pass the deterministic clean run once via
         ``clean`` (it must come from ``evaluate`` on the same inputs) to
-        skip recomputing it per grid point.
+        skip recomputing it per grid point.  A clean result restored from
+        disk (``SimulationResult.from_payload`` with its NPZ logits, as the
+        experiment result store does) is equally valid — the round-trip is
+        bit-exact, so flip rates and per-layer degradation match the
+        in-process reference exactly.
 
         Returns a :class:`~repro.sim.stats.MonteCarloResult` with the trial
         accuracies, their mean/std and normal-approximation confidence
@@ -201,13 +205,7 @@ class PimSimulator:
                 "derived per-trial seeds"
             )
 
-        if clean is None:
-            clean = self.evaluate(images, labels, adc_configs, batch_size=batch_size)
-        elif clean.logits is None or clean.logits.shape[0] != images.shape[0]:
-            raise ValueError(
-                "clean= must be an evaluate() result (with logits) over the "
-                "same images as this Monte Carlo run"
-            )
+        clean = self._clean_reference(clean, images, labels, adc_configs, batch_size)
         clean_predictions = np.argmax(clean.logits, axis=1)
 
         accuracies = np.empty(trials, dtype=np.float64)
@@ -248,6 +246,38 @@ class PimSimulator:
             noise_specs=_safe_specs(stack),
             baseline_ops_per_conversion=self.baseline_ops_per_conversion,
         )
+
+    def _clean_reference(
+        self,
+        clean: Optional[SimulationResult],
+        images: np.ndarray,
+        labels: np.ndarray,
+        adc_configs: Optional[Dict[str, AdcConfig]],
+        batch_size: int,
+    ) -> SimulationResult:
+        """Validate (or compute) the reusable noise-free reference run.
+
+        Accepts results produced in-process by :meth:`evaluate` and results
+        restored from an artifact store via
+        :meth:`~repro.sim.stats.SimulationResult.to_payload` /
+        ``from_payload`` — both carry the exact logits and per-layer
+        counters the Monte Carlo aggregation compares against.
+        """
+        if clean is None:
+            return self.evaluate(images, labels, adc_configs, batch_size=batch_size)
+        if clean.logits is None or clean.logits.shape[0] != images.shape[0]:
+            raise ValueError(
+                "clean= must be an evaluate() result (with logits) over the "
+                "same images as this Monte Carlo run"
+            )
+        if labels is not None and clean.labels is not None and not np.array_equal(
+            np.asarray(labels), clean.labels
+        ):
+            raise ValueError(
+                "clean= was computed against different labels than this "
+                "Monte Carlo run"
+            )
+        return clean
 
     def collect_bitline_distributions(
         self,

@@ -41,6 +41,15 @@ class LayerSimStats:
         self.in_r1 += stats.in_r1
         self.in_r2 += stats.in_r2
 
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-JSON form (exact: every field is an int or str)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "LayerSimStats":
+        return cls(**data)
+
 
 @dataclasses.dataclass
 class SimulationResult:
@@ -99,6 +108,44 @@ class SimulationResult:
             "remaining_ops_fraction": self.remaining_ops_fraction,
             "ops_reduction_factor": self.ops_reduction_factor,
         }
+
+    # ------------------------------------------------------------------ #
+    # Exact round-trip for the experiment result store: the JSON payload
+    # carries the scalar fields and per-layer counters; the float64 arrays
+    # (logits/labels) travel separately as NPZ so the restored result is
+    # bit-identical — which is what lets a stored clean reference feed
+    # ``PimSimulator.run_monte_carlo(clean=...)`` across processes and runs.
+    # ------------------------------------------------------------------ #
+    def to_payload(self) -> Dict[str, object]:
+        """JSON-safe dict of everything except the arrays."""
+        return {
+            "accuracy": self.accuracy,
+            "num_images": int(self.num_images),
+            "baseline_ops_per_conversion": int(self.baseline_ops_per_conversion),
+            "layer_stats": {
+                name: stats.to_dict() for name, stats in self.layer_stats.items()
+            },
+        }
+
+    @classmethod
+    def from_payload(
+        cls,
+        payload: Dict[str, object],
+        logits: Optional[np.ndarray] = None,
+        labels: Optional[np.ndarray] = None,
+    ) -> "SimulationResult":
+        """Inverse of :meth:`to_payload` (arrays supplied separately)."""
+        return cls(
+            accuracy=float(payload["accuracy"]),
+            num_images=int(payload["num_images"]),
+            layer_stats={
+                name: LayerSimStats.from_dict(stats)
+                for name, stats in payload["layer_stats"].items()
+            },
+            baseline_ops_per_conversion=int(payload["baseline_ops_per_conversion"]),
+            logits=None if logits is None else np.asarray(logits, dtype=np.float64),
+            labels=None if labels is None else np.asarray(labels),
+        )
 
 
 # --------------------------------------------------------------------- #

@@ -8,10 +8,12 @@ configurations are auditable.
 
 from repro.utils.config import (
     asdict_recursive,
+    canonical_json,
     config_from_json,
     config_to_json,
     load_json,
     save_json,
+    stable_digest,
 )
 from repro.utils.logging import get_logger, set_verbosity
 from repro.utils.rng import RngMixin, derive_seed, new_rng, spawn_rngs
@@ -22,10 +24,12 @@ from repro.utils.validation import (
     check_power_of_two,
     check_probability,
 )
+from repro.utils.warnings import reset_warn_once_registry, warn_once
 
 __all__ = [
     "RngMixin",
     "asdict_recursive",
+    "canonical_json",
     "check_in_range",
     "check_integer",
     "check_positive",
@@ -37,7 +41,10 @@ __all__ = [
     "get_logger",
     "load_json",
     "new_rng",
+    "reset_warn_once_registry",
     "save_json",
     "set_verbosity",
     "spawn_rngs",
+    "stable_digest",
+    "warn_once",
 ]

@@ -9,6 +9,7 @@ saved, inspected and replayed.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 from pathlib import Path
 from typing import Any, Dict, Type, TypeVar, Union
@@ -66,6 +67,29 @@ def config_from_json(cls: Type[T], text: str) -> T:
     if unknown:
         raise TypeError(f"unknown fields for {cls.__name__}: {sorted(unknown)}")
     return cls(**data)
+
+
+def canonical_json(obj: Any) -> str:
+    """A *canonical* JSON rendering suitable for content addressing.
+
+    Sorted keys, no insignificant whitespace, numpy scalars normalised — so
+    the same logical configuration always serialises to the same bytes
+    across processes and Python versions.  Floats rely on ``repr``'s
+    shortest round-trip representation (stable since Python 3.1).
+    """
+    payload = asdict_recursive(obj) if dataclasses.is_dataclass(obj) else _jsonable(obj)
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"), allow_nan=False)
+
+
+def stable_digest(obj: Any, length: int = 16) -> str:
+    """Hex digest of :func:`canonical_json`, truncated to ``length`` chars.
+
+    This is the content-addressing primitive shared by the trained-weight
+    cache (:mod:`repro.workloads`) and the experiment result store
+    (:mod:`repro.experiments.store`).
+    """
+    digest = hashlib.sha256(canonical_json(obj).encode("utf-8")).hexdigest()
+    return digest[: int(length)] if length else digest
 
 
 def save_json(obj: Any, path: PathLike) -> Path:

@@ -1,0 +1,46 @@
+"""Process-wide once-only warning emission.
+
+The deprecation shims (:mod:`repro.sim.fidelity`, the stochastic
+``CellConfig`` knobs) are constructed once per *call site* in a serial
+script, but a parallel experiment sweep constructs them once per job × per
+worker process — hundreds of identical :class:`DeprecationWarning` lines
+flooding the logs.  Python's own ``warnings`` registry dedupes per
+``(message, category, module, lineno)`` only under the default filter, which
+test harnesses routinely override with ``always``/``error``.
+
+:func:`warn_once` keeps its own per-process registry keyed by an explicit
+stable key, so each distinct deprecation is reported exactly once per
+process no matter how the filters are configured.  Tests that assert on the
+warnings reset the registry via :func:`reset_warn_once_registry` (the test
+suite does this around every test).
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Hashable, Set, Type
+
+_EMITTED: Set[Hashable] = set()
+
+
+def warn_once(
+    key: Hashable,
+    message: str,
+    category: Type[Warning] = DeprecationWarning,
+    stacklevel: int = 2,
+) -> bool:
+    """Emit ``message`` at most once per process for a given ``key``.
+
+    Returns ``True`` when the warning was actually emitted (first call for
+    this key), ``False`` when it was suppressed as a duplicate.
+    """
+    if key in _EMITTED:
+        return False
+    _EMITTED.add(key)
+    warnings.warn(message, category, stacklevel=stacklevel + 1)
+    return True
+
+
+def reset_warn_once_registry() -> None:
+    """Forget every emitted key (so the next ``warn_once`` fires again)."""
+    _EMITTED.clear()

@@ -21,10 +21,11 @@ import numpy as np
 from repro.datasets import DataLoader, SyntheticImageDataset, build_dataset, sample_calibration_set
 from repro.datasets.synthetic import DatasetSplit
 from repro.nn import Adam, Trainer
-from repro.nn.models import build_model, workload_info
+from repro.nn.models import build_model, preset_structure, workload_info
 from repro.nn.module import Module
 from repro.quantization import QuantizedModel, quantize_model
 from repro.sim import PimSimulator
+from repro.utils.config import stable_digest
 from repro.utils.logging import get_logger
 from repro.utils.rng import derive_seed
 
@@ -33,6 +34,22 @@ logger = get_logger("workloads")
 #: Default training budget (epochs) per preset; tuned so each workload trains
 #: in seconds-to-a-minute on a laptop CPU while clearly exceeding chance.
 _EPOCHS_BY_PRESET = {"tiny": 20, "small": 25, "paper": 30}
+
+
+def default_epochs(preset: str) -> int:
+    """Training budget used when ``epochs=None`` is passed for ``preset``.
+
+    Public so declarative experiment specs (:mod:`repro.experiments`) can
+    resolve a job's *effective* epoch count before hashing it.
+    """
+    return _EPOCHS_BY_PRESET.get(preset, 20)
+
+
+#: Training hyper-parameter defaults, shared by :func:`train_workload_model`
+#: and :func:`workload_fingerprint` so editing them can never serve weights
+#: cached under the old values.
+_DEFAULT_LEARNING_RATE = 3e-3
+_DEFAULT_BATCH_SIZE = 32
 
 
 @dataclasses.dataclass
@@ -55,8 +72,46 @@ class PreparedWorkload:
         return self.dataset.test.subset(np.arange(num_images))
 
 
+def workload_fingerprint(
+    name: str,
+    preset: str,
+    train_size: int,
+    epochs: int,
+    seed: int,
+    learning_rate: float = _DEFAULT_LEARNING_RATE,
+    batch_size: int = _DEFAULT_BATCH_SIZE,
+) -> Dict[str, object]:
+    """The *full* configuration that determines a workload's trained weights.
+
+    Beyond the obvious training knobs this resolves the preset's structural
+    parameters (width multiplier, block counts) and the workload's dataset
+    shape from the registries, so the returned dict changes whenever any of
+    them is edited.  Both the trained-weight cache below and the experiment
+    result store (:mod:`repro.experiments`) hash this dict — a stale artefact
+    can therefore never be served for a modified configuration.
+    """
+    return {
+        "name": str(name),
+        "preset": str(preset),
+        "preset_structure": preset_structure(preset),
+        "workload_info": workload_info(name),
+        "train_size": int(train_size),
+        "epochs": int(epochs),
+        "learning_rate": float(learning_rate),
+        "batch_size": int(batch_size),
+        "seed": int(seed),
+    }
+
+
 def _cache_path(cache_dir: Path, name: str, preset: str, train_size: int, epochs: int, seed: int) -> Path:
-    return cache_dir / f"{name}_{preset}_n{train_size}_e{epochs}_s{seed}.npz"
+    # The filename keeps the human-readable knobs, but the cache *key* is the
+    # digest of the full resolved configuration: editing a preset's structure
+    # (or a workload's dataset shape) changes the digest, so a stale weight
+    # file can never be loaded for the new configuration.
+    digest = stable_digest(
+        workload_fingerprint(name, preset, train_size, epochs, seed), length=12
+    )
+    return cache_dir / f"{name}_{preset}_n{train_size}_e{epochs}_s{seed}_{digest}.npz"
 
 
 def _save_state(model: Module, path: Path) -> None:
@@ -81,8 +136,8 @@ def train_workload_model(
     dataset: SyntheticImageDataset,
     preset: str = "tiny",
     epochs: Optional[int] = None,
-    learning_rate: float = 3e-3,
-    batch_size: int = 32,
+    learning_rate: float = _DEFAULT_LEARNING_RATE,
+    batch_size: int = _DEFAULT_BATCH_SIZE,
     seed: int = 0,
 ) -> Module:
     """Train one of the paper's model topologies on a synthetic dataset."""

@@ -1,0 +1,407 @@
+"""Tests of the experiment orchestration subsystem (:mod:`repro.experiments`).
+
+Covers the PR's contracts: content addressing (identical spec → cache hit,
+any changed field → new hash, preset edits invalidate), crash-resume
+bit-identity, parallel-vs-serial byte-identity (derived-seed determinism
+across process boundaries), the shared clean reference, and the
+once-per-process deprecation warning dedup that keeps parallel sweeps'
+logs readable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    AdcSpec,
+    ExperimentSpec,
+    JobSpec,
+    NoiseScenario,
+    ResultStore,
+    SweepSpec,
+    WorkloadSpec,
+    execute_job,
+    job_key,
+    run_sweep,
+)
+from repro.experiments import runner as runner_module
+from repro.experiments.presets import available_presets, build_preset
+from repro.experiments.store import code_version_salt
+from repro.utils.warnings import reset_warn_once_registry, warn_once
+from repro.workloads import _cache_path, workload_fingerprint
+
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
+
+# --------------------------------------------------------------------- #
+# Fixtures: a deliberately tiny workload so jobs run in fractions of a
+# second; the trained weights are disk-cached once per test session.
+# --------------------------------------------------------------------- #
+TINY = WorkloadSpec(
+    "lenet5", preset="tiny", train_size=48, test_size=16,
+    calibration_images=8, epochs=2, seed=11,
+)
+
+
+def tiny_sweep(name: str = "tiny-sweep") -> SweepSpec:
+    return SweepSpec(
+        name=name,
+        kind="monte_carlo",
+        workloads=[TINY],
+        noises=[
+            NoiseScenario(label={"sigma": 0.0}),
+            NoiseScenario(
+                models=[{"model": "gaussian_read_noise", "sigma": 0.5}],
+                label={"sigma": 0.5},
+            ),
+        ],
+        mc_seeds=[0, 1],
+        trials=2,
+        images=4,
+        batch_size=4,
+    )
+
+
+@pytest.fixture(scope="module")
+def weights_cache(tmp_path_factory) -> str:
+    return str(tmp_path_factory.mktemp("weights"))
+
+
+@pytest.fixture(autouse=True)
+def _cold_runner():
+    """Each test starts without in-process memos (like a fresh worker)."""
+    runner_module.clear_runner_memos()
+    yield
+
+
+@pytest.fixture(scope="module")
+def reference_run(tmp_path_factory, weights_cache):
+    """One uninterrupted serial run, shared by the equivalence tests."""
+    runner_module.clear_runner_memos()
+    root = tmp_path_factory.mktemp("store-reference")
+    run = run_sweep(tiny_sweep(), ResultStore(root), weights_cache_dir=weights_cache)
+    run._store_root = str(root)  # let the tests reopen the same store
+    return run
+
+
+def record_bytes(run) -> bytes:
+    return json.dumps(run.record.to_dict(), sort_keys=True).encode("utf-8")
+
+
+# --------------------------------------------------------------------- #
+# Content addressing
+# --------------------------------------------------------------------- #
+class TestJobKeys:
+    def test_identical_specs_share_a_key(self):
+        jobs_a = tiny_sweep().expand()
+        jobs_b = tiny_sweep().expand()
+        assert [job_key(a) for a in jobs_a] == [job_key(b) for b in jobs_b]
+
+    def test_every_changed_field_changes_the_hash(self):
+        base = tiny_sweep().expand()[-1]  # a monte_carlo job
+        assert base.kind == "monte_carlo"
+        variants = [
+            dataclasses.replace(base, trials=base.trials + 1),
+            dataclasses.replace(base, images=base.images + 1),
+            dataclasses.replace(base, batch_size=base.batch_size + 1),
+            dataclasses.replace(base, mc_seed=base.mc_seed + 1),
+            dataclasses.replace(base, engine="reference"),
+            dataclasses.replace(base, confidence=0.9),
+            dataclasses.replace(base, adc=AdcSpec(n_r1=3)),
+            dataclasses.replace(base, adc=AdcSpec(mode="uniform", uniform_bits=6)),
+            dataclasses.replace(
+                base, workload=dataclasses.replace(base.workload, seed=12)
+            ),
+            dataclasses.replace(
+                base, workload=dataclasses.replace(base.workload, train_size=64)
+            ),
+            dataclasses.replace(
+                base, workload=dataclasses.replace(base.workload, epochs=3)
+            ),
+            dataclasses.replace(
+                base,
+                noise=NoiseScenario(
+                    models=[{"model": "gaussian_read_noise", "sigma": 0.25}],
+                    label={"sigma": 0.25},
+                ),
+            ),
+            dataclasses.replace(base, noise=dataclasses.replace(base.noise, seed=5)),
+        ]
+        keys = [job_key(base)] + [job_key(v) for v in variants]
+        assert len(set(keys)) == len(keys), "a changed field did not change the hash"
+
+    def test_relabeling_does_not_rehash(self):
+        """Labels are reporting metadata: renaming a grid coordinate must
+        serve the cached artifact, not re-run the job."""
+        base = tiny_sweep().expand()[-1]
+        relabeled = dataclasses.replace(base, label={"renamed": True})
+        assert job_key(relabeled) == job_key(base)
+        # ... including the labels carried by the noise scenario itself.
+        scenario_relabel = dataclasses.replace(
+            base, noise=dataclasses.replace(base.noise, label={"read_noise": 0.5})
+        )
+        assert job_key(scenario_relabel) == job_key(base)
+
+    def test_unused_fields_do_not_rehash(self):
+        """Fields a job kind never consumes stay out of its address."""
+        cal = build_preset("ablation-calibration", smoke=True).sweep.expand()[0]
+        assert cal.kind == "calibration"
+        assert job_key(dataclasses.replace(cal, adc=AdcSpec(bias=1))) == job_key(cal)
+        assert job_key(dataclasses.replace(cal, engine="reference")) == job_key(cal)
+        # A uniform-mode ADC spec ignores its (inactive) TRQ fields.
+        base = tiny_sweep().expand()[0]
+        uniform = dataclasses.replace(
+            base, adc=AdcSpec(mode="uniform", uniform_bits=6)
+        )
+        uniform_trq_edit = dataclasses.replace(
+            base, adc=AdcSpec(mode="uniform", uniform_bits=6, n_r1=3)
+        )
+        assert job_key(uniform) == job_key(uniform_trq_edit)
+
+    def test_salt_changes_the_hash(self):
+        job = tiny_sweep().expand()[0]
+        assert job_key(job) == job_key(job, code_version_salt())
+        assert job_key(job) != job_key(job, "other-salt")
+
+    def test_preset_edit_invalidates_weight_cache_and_job_keys(self, monkeypatch, tmp_path):
+        from repro.nn.models import registry
+
+        job = tiny_sweep().expand()[0]
+        fingerprint_before = workload_fingerprint("lenet5", "tiny", 48, 2, 11)
+        key_before = job_key(job)
+        path_before = _cache_path(tmp_path, "lenet5", "tiny", 48, 2, 11)
+
+        edited = dict(registry._PRESETS)
+        edited["tiny"] = dict(edited["tiny"], width=0.5)
+        monkeypatch.setattr(registry, "_PRESETS", edited)
+
+        assert workload_fingerprint("lenet5", "tiny", 48, 2, 11) != fingerprint_before
+        assert job_key(job) != key_before, "preset edit must re-address results"
+        assert _cache_path(tmp_path, "lenet5", "tiny", 48, 2, 11) != path_before, (
+            "preset edit must never serve stale trained weights"
+        )
+
+    def test_monte_carlo_siblings_share_one_clean_job(self):
+        jobs = [j for j in tiny_sweep().expand() if j.kind == "monte_carlo"]
+        clean_keys = {job_key(j.clean_job()) for j in jobs}
+        assert len(clean_keys) == 1  # same workload/ADC/images → one reference
+
+
+# --------------------------------------------------------------------- #
+# Result store
+# --------------------------------------------------------------------- #
+class TestResultStore:
+    def test_json_and_array_roundtrip(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        arrays = {"logits": np.linspace(-1, 1, 12).reshape(4, 3)}
+        store.save("abc123", {"row": {"x": 1.5}}, arrays)
+        assert store.has("abc123")
+        assert store.load("abc123") == {"row": {"x": 1.5}}
+        restored = store.load_arrays("abc123")
+        np.testing.assert_array_equal(restored["logits"], arrays["logits"])
+        assert list(store.keys()) == ["abc123"]
+        store.delete("abc123")
+        assert not store.has("abc123")
+        assert store.load_arrays("abc123") == {}
+
+    def test_no_partial_artifacts_on_writer_failure(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+
+        def exploding_writer(handle):
+            handle.write(b"partial")
+            raise RuntimeError("disk on fire")
+
+        with pytest.raises(RuntimeError, match="disk on fire"):
+            store._atomic_write(store.json_path("k"), exploding_writer)
+        assert not store.has("k")
+        assert list(tmp_path.joinpath("store").iterdir()) == []
+
+
+# --------------------------------------------------------------------- #
+# Runner: caching, resume, parallel determinism
+# --------------------------------------------------------------------- #
+class TestRunner:
+    def test_identical_sweep_is_a_full_cache_hit(
+        self, reference_run, weights_cache, monkeypatch
+    ):
+        # Re-run against the same store; any compute attempt must blow up.
+        for fn in ("_execute_evaluate", "_execute_monte_carlo", "_execute_calibration"):
+            monkeypatch.setattr(
+                runner_module, fn,
+                lambda *a, **k: pytest.fail("cache hit must not recompute"),
+            )
+        rerun = run_sweep(
+            tiny_sweep(), ResultStore(reference_run_store_root(reference_run)),
+            weights_cache_dir=weights_cache,
+        )
+        assert rerun.stats.computed == 0
+        assert rerun.stats.cached == rerun.stats.total == len(reference_run.keys)
+        assert record_bytes(rerun) == record_bytes(reference_run)
+
+    def test_resume_after_crash_is_bit_identical(
+        self, reference_run, weights_cache, tmp_path
+    ):
+        sweep = tiny_sweep()
+        jobs = sweep.expand()
+        store = ResultStore(tmp_path / "interrupted")
+        # Simulated crash: half the jobs completed, the process died.
+        for job in jobs[: len(jobs) // 2]:
+            execute_job(job, store, weights_cache)
+        runner_module.clear_runner_memos()
+        resumed = run_sweep(sweep, store, weights_cache_dir=weights_cache)
+        assert resumed.stats.cached == len(jobs) // 2
+        assert resumed.stats.computed == len(jobs) - len(jobs) // 2
+        assert resumed.rows == reference_run.rows
+        assert record_bytes(resumed) == record_bytes(reference_run)
+
+    def test_two_worker_run_matches_serial_byte_for_byte(
+        self, reference_run, weights_cache, tmp_path
+    ):
+        """Derived-seed determinism across process boundaries: a 2-worker
+        pool must reproduce the serial run's ordered rows exactly."""
+        parallel = run_sweep(
+            tiny_sweep(), ResultStore(tmp_path / "parallel"), jobs=2,
+            weights_cache_dir=weights_cache,
+        )
+        assert parallel.stats.computed == parallel.stats.total
+        assert parallel.rows == reference_run.rows
+        assert record_bytes(parallel) == record_bytes(reference_run)
+
+    def test_force_recomputes(self, reference_run, weights_cache):
+        store = ResultStore(reference_run_store_root(reference_run))
+        forced = run_sweep(
+            tiny_sweep(), store, force=True, weights_cache_dir=weights_cache
+        )
+        assert forced.stats.computed == forced.stats.total
+        assert record_bytes(forced) == record_bytes(reference_run)
+
+    def test_clean_reference_is_shared_via_the_store(
+        self, reference_run, weights_cache
+    ):
+        """Monte Carlo jobs resolve their clean run to the zero-noise
+        evaluate artifact — computed once per (workload, config)."""
+        store = ResultStore(reference_run_store_root(reference_run))
+        sweep = tiny_sweep()
+        jobs = sweep.expand()
+        evaluate_keys = {
+            job_key(job) for job in jobs if job.kind == "evaluate"
+        }
+        for job in jobs:
+            if job.kind == "monte_carlo":
+                payload = store.load(job_key(job))
+                assert payload["clean_key"] in evaluate_keys
+        # The store holds exactly: one artifact per job (the zero-noise
+        # evaluate job *is* the shared clean reference, so no extras).
+        assert len(list(store.keys())) == len(jobs)
+
+    def test_clean_reference_persists_into_every_store(
+        self, reference_run, weights_cache, tmp_path
+    ):
+        """A warm in-process memo must not skip writing the clean reference
+        into a *different* store — its MC artifacts would then carry a
+        dangling clean_key."""
+        sweep = tiny_sweep()
+        mc_job = next(j for j in sweep.expand() if j.kind == "monte_carlo")
+        # reference_run warmed the memo for its own store; now execute the
+        # same MC job into a fresh store without clearing memos.
+        other = ResultStore(tmp_path / "other-store")
+        execute_job(mc_job, other, weights_cache)
+        payload = other.load(job_key(mc_job))
+        assert other.has(payload["clean_key"]), \
+            "clean reference missing from the store that references it"
+
+    def test_zero_noise_scenario_runs_as_single_evaluate_job(self):
+        jobs = tiny_sweep().expand()
+        evaluate_jobs = [j for j in jobs if j.kind == "evaluate"]
+        # two mc_seeds × zero-noise scenario still collapse to ONE job
+        assert len(evaluate_jobs) == 1
+        assert evaluate_jobs[0].label_dict["sigma"] == 0.0
+
+
+def reference_run_store_root(reference_run) -> str:
+    """The store directory the shared reference run executed against."""
+    return reference_run._store_root  # attached by the fixture
+
+
+# --------------------------------------------------------------------- #
+# Spec serialization / CLI plumbing
+# --------------------------------------------------------------------- #
+class TestSpecs:
+    def test_sweep_spec_roundtrips_through_json(self):
+        sweep = tiny_sweep()
+        clone = SweepSpec.from_dict(json.loads(json.dumps(sweep.to_dict())))
+        assert [job_key(j) for j in clone.expand()] == \
+               [job_key(j) for j in sweep.expand()]
+
+    def test_experiment_spec_accepts_bare_sweep_dicts(self):
+        experiment = ExperimentSpec.from_dict(tiny_sweep().to_dict())
+        assert experiment.experiment_id == "tiny-sweep"
+        assert len(experiment.sweep.expand()) == len(tiny_sweep().expand())
+
+    def test_presets_expand(self):
+        for name in available_presets():
+            experiment = build_preset(name, smoke=True)
+            jobs = experiment.sweep.expand()
+            assert jobs, name
+            assert len({job_key(j) for j in jobs}) == len(jobs)
+
+    def test_monte_carlo_job_requires_noise_and_trials(self):
+        with pytest.raises(ValueError, match="noise"):
+            JobSpec(kind="monte_carlo", workload=TINY, trials=2)
+        with pytest.raises(ValueError, match="trials"):
+            JobSpec(
+                kind="monte_carlo", workload=TINY, trials=0,
+                noise=NoiseScenario(models=[{"model": "gaussian_read_noise", "sigma": 1.0}]),
+            )
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            JobSpec(kind="banana", workload=TINY)
+        with pytest.raises(ValueError, match="kind"):
+            SweepSpec(name="x", kind="banana", workloads=[TINY])
+
+
+# --------------------------------------------------------------------- #
+# Once-per-process deprecation warnings (parallel-sweep log hygiene)
+# --------------------------------------------------------------------- #
+class TestWarnOnce:
+    def test_warn_once_dedupes_per_key(self):
+        reset_warn_once_registry()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert warn_once("k1", "message one") is True
+            assert warn_once("k1", "message one") is False
+            assert warn_once("k2", "message two") is True
+        assert len(caught) == 2
+        reset_warn_once_registry()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert warn_once("k1", "message one") is True
+        assert len(caught) == 1
+
+    def test_fidelity_shim_warns_once_per_process(self):
+        from repro.sim.fidelity import GaussianReadNoise
+
+        reset_warn_once_registry()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            GaussianReadNoise(sigma_levels=0.5)
+            GaussianReadNoise(sigma_levels=1.0)
+        deprecations = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+        assert len(deprecations) == 1
+
+    def test_cell_model_warns_once_per_process(self):
+        from repro.crossbar.cell import CellConfig, ReRAMCellModel
+
+        reset_warn_once_registry()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            ReRAMCellModel(CellConfig(programming_sigma=0.1))
+            ReRAMCellModel(CellConfig(programming_sigma=0.2))
+        deprecations = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+        assert len(deprecations) == 1

@@ -220,10 +220,13 @@ class TestSimulatorNoiseEquivalence:
         the keyed subsystem they must now match exactly."""
         from repro.sim import GaussianReadNoise as LegacyGaussian
 
+        from repro.utils.warnings import reset_warn_once_registry
+
         images, labels = lenet_eval_data
         images, labels = images[:6], labels[:6]
         logits = {}
         for engine in ("reference", "fast"):
+            reset_warn_once_registry()  # the shim warns once per process
             with pytest.warns(DeprecationWarning):
                 noise = LegacyGaussian(sigma_levels=0.5, seed=0)
             sim = PimSimulator(lenet_workload.quantized, engine=engine)
