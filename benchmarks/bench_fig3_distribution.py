@@ -2,46 +2,51 @@
 
 Paper reference (Fig. 3a): the bit-line value distribution is highly
 imbalanced — the majority of samples concentrate in a small interval close
-to zero.  This benchmark collects the distributions on the calibration images
-of each workload and checks/records that imbalance.
+to zero.  The capture runs as a ``distribution``-kind job per workload on
+the experiment runner (store-cached, resumable, ``--jobs N``); the exact
+per-layer sample arrays are persisted as NPZ siblings, and the per-layer
+table is rebuilt from them by :mod:`repro.report.figures`.
+
+Run::
+
+    python benchmarks/bench_fig3_distribution.py            # full capture
+    python benchmarks/bench_fig3_distribution.py --smoke    # CI seconds
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.report import fig3a_distribution_record
+from figure_shim import build_arg_parser, env_preset, env_workload_names, run_figure
+
+from repro.experiments import ResultStore  # noqa: E402
+from repro.experiments.presets import fig3  # noqa: E402
 
 
-def test_fig3a_bitline_distribution(benchmark, workloads, results_dir):
-    def run():
-        per_workload = {}
-        for name, workload in workloads.items():
-            samples = workload.simulator.collect_bitline_distributions(
-                workload.calibration.images[:16],
-                batch_size=8,
-                capacity_per_layer=50_000,
-                seed=0,
-            )
-            per_workload[name] = samples
-        return per_workload
+def main(argv=None) -> int:
+    args = build_arg_parser(__doc__).parse_args(argv)
+    experiment = fig3(
+        smoke=args.smoke,
+        workload_names=env_workload_names() if not args.smoke else None,
+        preset=env_preset(),
+    )
+    run = run_figure(experiment, args)
 
-    per_workload = benchmark.pedantic(run, rounds=1, iterations=1)
-
-    for name, samples in per_workload.items():
-        record = fig3a_distribution_record(samples, num_bins=16)
-        record.metadata.update({"workload": name, "calibration_images": 16})
-        record.save(results_dir / f"fig3a_{name}.json")
-        print()
-        print(record.to_table(
-            columns=["layer", "count", "median", "p95", "max", "frac_below_max_over_8"]
-        ))
-
+    # The reproduced claim: pooled distributions are bottom-heavy.
+    store = ResultStore(args.store)
+    for job, key in zip(run.sweep.expand(), run.keys):
+        if not store.has(key):
+            continue
+        samples = store.load_arrays(key)
         pooled = np.concatenate(list(samples.values()))
-        # The reproduced claim: the pooled distribution is bottom-heavy.
-        assert np.median(pooled) <= pooled.max() / 4.0
+        assert np.median(pooled) <= pooled.max() / 4.0, job.workload.name
         low_mass = [
             float(np.mean(v <= v.max() / 4.0)) if v.max() > 0 else 1.0
             for v in samples.values()
         ]
-        assert np.mean(np.array(low_mass) > 0.5) >= 0.6
+        assert np.mean(np.array(low_mass) > 0.5) >= 0.6, job.workload.name
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -3,67 +3,53 @@
 Paper reference (Fig. 6a): with conventional uniform conversion, prediction
 accuracy degrades as the ADC sensing precision drops below ~7 bits; at 4 bits
 the drop is severe on most workloads.
+
+The sweep runs on the experiment runner: the f/f (float) and 8/f
+(fake-quantized) references are ``datapath`` evaluate jobs, and each sensing
+precision is a ``uniform_calibrated`` evaluate job — all precisions share
+one stored bit-line distribution capture per workload.
+
+Run::
+
+    python benchmarks/bench_fig6a_uniform_accuracy.py [--smoke] [--jobs N]
 """
 
 from __future__ import annotations
 
-from conftest import FIG6_BITS, eval_image_count
+from figure_shim import (
+    build_arg_parser,
+    env_eval_images,
+    env_preset,
+    env_workload_names,
+    run_figure,
+)
 
-from repro.core import uniform_adc_configs
-from repro.quantization import FakeQuantBackend, attach_backend, detach_backend
-from repro.nn import top1_accuracy
-from repro.report import fig6_accuracy_record, format_table
-
-
-def _reference_accuracies(workload, images, labels):
-    """The 'f/f' (float) and '8/f' (8-bit weights/activations) references."""
-    model = workload.model
-    model.eval()
-    float_acc = top1_accuracy(model(images), labels)
-    backend = FakeQuantBackend(workload.quantized)
-    attach_backend(model, backend)
-    try:
-        quant_acc = top1_accuracy(model(images), labels)
-    finally:
-        detach_backend(model)
-    return float_acc, quant_acc
+from repro.experiments import ResultStore  # noqa: E402
+from repro.experiments.presets import fig6a  # noqa: E402
+from repro.report.figures import fig6a_record_from_run  # noqa: E402
 
 
-def test_fig6a_uniform_adc_accuracy(benchmark, workloads, results_dir):
-    num_eval = eval_image_count()
-
-    def run():
-        accuracy_by_config = {}
-        for name, workload in workloads.items():
-            split = workload.eval_split(num_eval)
-            images, labels = split.images, split.labels
-            float_acc, quant_acc = _reference_accuracies(workload, images, labels)
-            series = {"f/f": float_acc, "8/f": quant_acc}
-            samples = workload.simulator.collect_bitline_distributions(
-                workload.calibration.images[:16], batch_size=8, seed=0
-            )
-            for bits in FIG6_BITS:
-                result = workload.simulator.evaluate(
-                    images, labels, uniform_adc_configs(samples, bits=bits), batch_size=16
-                )
-                series[str(bits)] = result.accuracy
-            accuracy_by_config[name] = series
-        return accuracy_by_config
-
-    accuracy_by_config = benchmark.pedantic(run, rounds=1, iterations=1)
-
-    record = fig6_accuracy_record(
-        "fig6a",
-        "Accuracy vs ADC resolution, uniform ADC (no TRQ)",
-        "Uniform quantization needs >= 7 bits to preserve accuracy (Fig. 6a)",
-        accuracy_by_config,
+def main(argv=None) -> int:
+    args = build_arg_parser(__doc__).parse_args(argv)
+    experiment = fig6a(
+        smoke=args.smoke,
+        workload_names=env_workload_names() if not args.smoke else None,
+        preset=env_preset(),
+        images=env_eval_images(),
     )
-    record.metadata["eval_images"] = num_eval
-    record.save(results_dir / "fig6a.json")
-    print()
-    print(format_table(record.rows))
+    run = run_figure(experiment, args)
 
-    for name, series in accuracy_by_config.items():
+    record = fig6a_record_from_run(run, ResultStore(args.store))
+    series_by_workload = {}
+    for row in record.rows:
+        series_by_workload.setdefault(row["workload"], {})[row["config"]] = row["accuracy"]
+    for name, series in series_by_workload.items():
         # Monotone-ish degradation: the lowest precision is never better than
         # the full-resolution uniform configuration by a meaningful margin.
-        assert series["4"] <= series["8"] + 0.05
+        if "4" in series and "8" in series:
+            assert series["4"] <= series["8"] + 0.05, (name, series)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

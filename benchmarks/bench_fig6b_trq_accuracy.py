@@ -1,78 +1,63 @@
 """Experiment ``fig6b``: accuracy vs ADC resolution *with* TRQ.
 
 Paper reference (Fig. 6b): with Twin-Range Quantization, accuracy stays close
-to the quantized-model reference down to ~4-bit sensing precision — e.g.
-ResNet-20/CIFAR-10 reaches 91.09% at 4 bits, which uniform conversion only
-matches at 7+ bits.
+to the quantized-model reference down to ~4-bit sensing precision — which
+uniform conversion only matches at 7+ bits.
+
+Each sensing precision is one Algorithm 1 ``calibration`` job
+(``initial_n_max=bits``) on the experiment runner; the uniform 4-bit
+comparison point is a ``uniform_calibrated`` evaluate job shared (by content
+address) with the Fig. 6a sweep.  Each calibration job builds a fresh
+optimizer, so grid points are independent and order-free — unlike the
+pre-port loop that reused one optimizer's subsampling RNG across bit-widths.
+
+Run::
+
+    python benchmarks/bench_fig6b_trq_accuracy.py [--smoke] [--jobs N]
 """
 
 from __future__ import annotations
 
-from conftest import FIG6_BITS, eval_image_count
+from figure_shim import (
+    build_arg_parser,
+    env_eval_images,
+    env_preset,
+    env_workload_names,
+    run_figure,
+)
 
-from repro.core import CoDesignOptimizer, SearchSpaceConfig, uniform_adc_configs
-from repro.report import fig6_accuracy_record, format_table
+from repro.experiments import ResultStore  # noqa: E402
+from repro.experiments.presets import fig6b  # noqa: E402
+from repro.report.figures import fig6b_record_from_run  # noqa: E402
 
 
-def test_fig6b_trq_accuracy(benchmark, workloads, results_dir):
-    num_eval = eval_image_count()
-
-    def run():
-        accuracy_by_config = {}
-        ops_by_config = {}
-        uniform_4bit = {}
-        for name, workload in workloads.items():
-            split = workload.eval_split(num_eval)
-            images, labels = split.images, split.labels
-            samples = workload.simulator.collect_bitline_distributions(
-                workload.calibration.images[:16], batch_size=8, seed=0
-            )
-            uniform_4bit[name] = workload.simulator.evaluate(
-                images, labels, uniform_adc_configs(samples, bits=4), batch_size=16
-            ).accuracy
-            optimizer = CoDesignOptimizer(
-                workload.model,
-                workload.calibration.images,
-                workload.calibration.labels,
-                search_space=SearchSpaceConfig(num_v_grid_candidates=16),
-                max_samples_per_layer=8192,
-            )
-            series = {}
-            ops_series = {}
-            for bits in FIG6_BITS:
-                result = optimizer.run(
-                    images, labels, batch_size=16,
-                    use_accuracy_loop=False, initial_n_max=bits,
-                )
-                series[str(bits)] = result.final_accuracy
-                ops_series[str(bits)] = result.remaining_ops_fraction
-                if bits == FIG6_BITS[0]:
-                    series["ideal"] = result.baseline_accuracy
-            accuracy_by_config[name] = series
-            ops_by_config[name] = ops_series
-        return accuracy_by_config, ops_by_config, uniform_4bit
-
-    accuracy_by_config, ops_by_config, uniform_4bit = benchmark.pedantic(
-        run, rounds=1, iterations=1
+def main(argv=None) -> int:
+    args = build_arg_parser(__doc__).parse_args(argv)
+    experiment = fig6b(
+        smoke=args.smoke,
+        workload_names=env_workload_names() if not args.smoke else None,
+        preset=env_preset(),
+        images=env_eval_images(),
     )
+    run = run_figure(experiment, args)
 
-    record = fig6_accuracy_record(
-        "fig6b",
-        "Accuracy vs ADC resolution with TRQ",
-        "TRQ at 4-bit sensing matches uniform conversion at 7-8 bits (Fig. 6b)",
-        accuracy_by_config,
-    )
-    record.metadata["remaining_ops_fraction"] = ops_by_config
-    record.metadata["uniform_4bit_accuracy"] = uniform_4bit
-    record.metadata["eval_images"] = num_eval
-    record.save(results_dir / "fig6b.json")
-    print()
-    print(format_table(record.rows))
+    record = fig6b_record_from_run(run, ResultStore(args.store))
+    uniform_4bit = record.metadata["uniform_4bit_accuracy"]
+    series_by_workload = {}
+    for row in record.rows:
+        series_by_workload.setdefault(row["workload"], {})[row["config"]] = row["accuracy"]
+    for name, series in series_by_workload.items():
+        # Guards keep tolerated failures (--max-failures) from turning the
+        # claim checks into KeyErrors: missing rows skip their assertion.
+        if "4" in series and name in uniform_4bit:
+            # The paper's central comparison: at the same 4-bit sensing
+            # budget, TRQ preserves at least as much accuracy as uniform.
+            assert series["4"] >= uniform_4bit[name] - 1e-9, (name, series)
+        if "8" in series and "ideal" in series:
+            # And at the full 8-bit budget TRQ is essentially lossless.
+            assert series["8"] >= series["ideal"] - 0.1, (name, series)
+    return 0
 
-    for name, series in accuracy_by_config.items():
-        ideal = series["ideal"]
-        # The paper's central comparison: at the same 4-bit sensing budget,
-        # TRQ preserves at least as much accuracy as uniform conversion.
-        assert series["4"] >= uniform_4bit[name] - 1e-9
-        # And at the full 8-bit budget TRQ is essentially lossless.
-        assert series["8"] >= ideal - 0.1
+
+if __name__ == "__main__":
+    raise SystemExit(main())

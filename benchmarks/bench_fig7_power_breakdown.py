@@ -5,75 +5,66 @@ motivation quotes >60%); the TRQ design significantly reduces the ADC
 component without touching the crossbar/DAC/buffer/register/router
 components, and beats the reduced-resolution uniform-ADC alternative that
 reaches comparable accuracy (7-8 bits).
+
+One ``power`` job per workload on the experiment runner, with the power
+model as a first-class axis; each job shares its 4-bit Algorithm 1
+calibration sibling with the Fig. 6b/6c sweeps through the store (the
+search runs once per workload across all three figures).
+
+Run::
+
+    python benchmarks/bench_fig7_power_breakdown.py [--smoke] [--jobs N]
 """
 
 from __future__ import annotations
 
-from conftest import eval_image_count
+from figure_shim import (
+    build_arg_parser,
+    env_eval_images,
+    env_preset,
+    env_workload_names,
+    run_figure,
+)
 
-from repro.arch import AcceleratorMapping, PowerModel, breakdown_table, compare_configurations
-from repro.core import CoDesignOptimizer, SearchSpaceConfig
-from repro.nn.models import workload_info
-from repro.report import fig7_power_record, format_table
+from repro.arch.power import COMPONENTS  # noqa: E402
+from repro.experiments import ResultStore  # noqa: E402
+from repro.experiments.presets import fig7  # noqa: E402
+from repro.report.figures import fig7_record_from_run  # noqa: E402
+
+UNIFORM_BITS = 7
 
 
-def test_fig7_power_breakdown(benchmark, workloads, results_dir):
-    num_eval = eval_image_count()
+def main(argv=None) -> int:
+    args = build_arg_parser(__doc__).parse_args(argv)
+    experiment = fig7(
+        smoke=args.smoke,
+        workload_names=env_workload_names() if not args.smoke else None,
+        preset=env_preset(),
+        images=env_eval_images(),
+        uniform_bits=UNIFORM_BITS,
+    )
+    run = run_figure(experiment, args)
 
-    def run():
-        comparisons = []
-        for name, workload in workloads.items():
-            split = workload.eval_split(num_eval)
-            optimizer = CoDesignOptimizer(
-                workload.model,
-                workload.calibration.images,
-                workload.calibration.labels,
-                search_space=SearchSpaceConfig(num_v_grid_candidates=16),
-                max_samples_per_layer=8192,
-            )
-            result = optimizer.run(
-                split.images, split.labels, batch_size=16,
-                use_accuracy_loop=False, initial_n_max=4,
-            )
-            trq_eval = workload.simulator.evaluate(
-                split.images, split.labels, result.adc_configs, batch_size=16
-            )
-            trq_ops = {
-                layer: stats.mean_ops_per_conversion
-                for layer, stats in trq_eval.layer_stats.items()
-            }
-            info = workload_info(name)
-            image_shape = (info["in_channels"], info["image_size"], info["image_size"])
-            mapping = AcceleratorMapping(workload.quantized, image_shape)
-            # The uniform alternative needs 7-8 bits for comparable accuracy.
-            comparisons.append(
-                compare_configurations(name, mapping, trq_ops, uniform_bits=7,
-                                       power_model=PowerModel())
-            )
-        return comparisons
-
-    comparisons = benchmark.pedantic(run, rounds=1, iterations=1)
-
-    rows = breakdown_table(comparisons)
-    record = fig7_power_record(rows)
-    record.metadata["adc_reduction_vs_isaac"] = {
-        c.workload: c.adc_reduction_vs_baseline("Ours/4b") for c in comparisons
-    }
-    record.save(results_dir / "fig7.json")
-    print()
-    print(format_table(rows))
-
-    for comparison in comparisons:
-        baseline = comparison.by_label("ISAAC")
-        ours = comparison.by_label("Ours/4b")
-        uq = comparison.by_label("UQ(7b)")
-        fractions = baseline.fractions()
+    record = fig7_record_from_run(run, ResultStore(args.store))
+    by_workload = {}
+    for row in record.rows:
+        by_workload.setdefault(row["workload"], {})[row["config"]] = row
+    for name, configs in by_workload.items():
+        baseline = configs["ISAAC"]
+        ours = configs["Ours/4b"]
+        uq = configs[f"UQ({UNIFORM_BITS}b)"]
+        fractions = {c: baseline[c] / baseline["total_J"] for c in COMPONENTS}
         # ADC is the dominant component of the baseline...
-        assert fractions["ADC"] == max(fractions.values())
-        assert fractions["ADC"] > 0.5
+        assert fractions["ADC"] == max(fractions.values()), (name, fractions)
+        assert fractions["ADC"] > 0.5, (name, fractions)
         # ...TRQ reduces ADC energy substantially and beats the UQ alternative...
-        assert comparison.adc_reduction_vs_baseline("Ours/4b") > 1.3
-        assert ours.per_component["ADC"] < uq.per_component["ADC"]
+        assert baseline["ADC"] / ours["ADC"] > 1.3, (name, baseline["ADC"], ours["ADC"])
+        assert ours["ADC"] < uq["ADC"], (name, ours["ADC"], uq["ADC"])
         # ...while all other components are untouched.
         for component in ("Crossbar", "DAC", "Buffer", "Register", "Bus&Router"):
-            assert ours.per_component[component] == baseline.per_component[component]
+            assert ours[component] == baseline[component], (name, component)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

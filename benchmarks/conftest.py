@@ -23,6 +23,14 @@ from typing import Dict
 
 import pytest
 
+from repro.experiments.presets import (
+    BENCH_CALIBRATION_IMAGES,
+    BENCH_SEED,
+    BENCH_TEST_SIZE,
+    BENCH_TRAIN_SIZE,
+    FIG6_SENSING_BITS,
+    benchmark_epochs,
+)
 from repro.workloads import PreparedWorkload, prepare_workload
 
 BENCH_DIR = Path(__file__).parent
@@ -30,22 +38,22 @@ CACHE_DIR = BENCH_DIR / ".cache"
 RESULTS_DIR = BENCH_DIR / "results"
 
 #: Sensing precisions swept in Fig. 6 (paper: 8, 7, 6, 5, 4).
-FIG6_BITS = (8, 7, 6, 5, 4)
+FIG6_BITS = FIG6_SENSING_BITS
 
-#: The one benchmark-wide workload-preparation budget.  Everything that
-#: prepares a benchmark workload — the session fixture below AND any
-#: spec-driven `repro.experiments` sweep that wants to share the trained
-#: weight cache with it — must build its configuration from these, so the
-#: definitions cannot drift apart.
-WORKLOAD_TRAIN_SIZE = 256
-WORKLOAD_TEST_SIZE = 96
-WORKLOAD_CALIBRATION_IMAGES = 32
-WORKLOAD_SEED = 0
+#: The one benchmark-wide workload-preparation budget.  The constants live
+#: in :mod:`repro.experiments.presets` (the figure presets are built from
+#: them) and are re-exported here for the fixtures and legacy imports, so
+#: the session fixture below and every spec-driven `repro.experiments`
+#: sweep share the same trained-weight cache and can never drift apart.
+WORKLOAD_TRAIN_SIZE = BENCH_TRAIN_SIZE
+WORKLOAD_TEST_SIZE = BENCH_TEST_SIZE
+WORKLOAD_CALIBRATION_IMAGES = BENCH_CALIBRATION_IMAGES
+WORKLOAD_SEED = BENCH_SEED
 
 
 def workload_epochs(name: str) -> int:
     """Per-workload training budget of the benchmark suite."""
-    return 20 if name == "lenet5" else 12
+    return benchmark_epochs(name)
 
 
 def _selected_workloads() -> list:

@@ -92,7 +92,13 @@ def uniform_adc_configs(
 # --------------------------------------------------------------------- #
 @dataclasses.dataclass
 class CoDesignResult:
-    """Outcome of :meth:`CoDesignOptimizer.run`."""
+    """Outcome of :meth:`CoDesignOptimizer.run`.
+
+    ``evaluation`` is the full :class:`~repro.sim.stats.SimulationResult` of
+    the final configuration (per-layer A/D operation counters included), so
+    downstream consumers — the Fig. 6c per-layer table, the Fig. 7 power
+    model — don't have to re-run the evaluation the optimizer already did.
+    """
 
     calibration: CalibrationResult
     adc_configs: Dict[str, object]
@@ -101,6 +107,7 @@ class CoDesignResult:
     remaining_ops_fraction: float
     ops_reduction_factor: float
     evaluation_summary: Dict[str, float]
+    evaluation: Optional[object] = None  # SimulationResult (lazy import type)
 
     @property
     def accuracy_drop(self) -> float:
@@ -238,4 +245,5 @@ class CoDesignOptimizer:
             remaining_ops_fraction=final.remaining_ops_fraction,
             ops_reduction_factor=final.ops_reduction_factor,
             evaluation_summary=final.summary(),
+            evaluation=final,
         )

@@ -19,6 +19,7 @@ Quickstart::
 
 from repro.experiments.presets import available_presets, build_preset
 from repro.experiments.runner import (
+    MaxFailuresExceeded,
     SweepRun,
     SweepRunStats,
     clear_runner_memos,
@@ -29,20 +30,31 @@ from repro.experiments.runner import (
 from repro.experiments.spec import (
     AdcSpec,
     CalibrationParams,
+    DistributionParams,
     ExperimentSpec,
     JobSpec,
     NoiseScenario,
+    PowerSpec,
     SweepSpec,
     WorkloadSpec,
 )
-from repro.experiments.store import ResultStore, code_version_salt, job_key
+from repro.experiments.store import (
+    FailureLog,
+    ResultStore,
+    code_version_salt,
+    job_key,
+)
 
 __all__ = [
     "AdcSpec",
     "CalibrationParams",
+    "DistributionParams",
     "ExperimentSpec",
+    "FailureLog",
     "JobSpec",
+    "MaxFailuresExceeded",
     "NoiseScenario",
+    "PowerSpec",
     "ResultStore",
     "SweepRun",
     "SweepRunStats",

@@ -5,15 +5,26 @@
     python -m repro.experiments list
     python -m repro.experiments show robustness-noise --smoke
     python -m repro.experiments run robustness-noise --smoke --jobs 2
+    python -m repro.experiments run --preset fig6 --smoke --max-failures 1
     python -m repro.experiments run path/to/sweep.json --force
 
-``run`` accepts either a built-in preset name (``list`` shows them) or a
-path to a JSON file holding an :class:`~repro.experiments.spec.ExperimentSpec`
+``run``/``show`` accept either a built-in preset name (``list`` shows them;
+the ``--preset`` flag is an explicit spelling of the same thing) or a path
+to a JSON file holding an :class:`~repro.experiments.spec.ExperimentSpec`
 (or bare ``SweepSpec``) dict.  Completed jobs land in the content-addressed
 store and are skipped on the next invocation; an interrupted sweep (Ctrl-C,
 crash, CI timeout) therefore resumes where it left off — ``--resume`` is the
 default and spelled out only for scripts that want to be explicit.  Use
 ``--force`` to discard the sweep's cached artifacts and recompute.
+
+Failures: a job that raises is recorded (spec + traceback) in the store's
+failure log and surfaced by ``show``; ``--max-failures N`` lets a sweep
+tolerate up to ``N`` failed jobs instead of aborting on the first one.
+Rerunning the sweep retries failed jobs and clears healed log entries.
+
+``run`` on a ``fig*`` preset additionally renders the paper-style figure
+tables (JSON + markdown + CSV) from the stored rows — the same reporting
+path the ``benchmarks/bench_fig*.py`` shims use.
 """
 
 from __future__ import annotations
@@ -24,10 +35,15 @@ import sys
 from pathlib import Path
 from typing import Optional
 
-from repro.experiments.presets import available_presets, build_preset
-from repro.experiments.runner import run_sweep
+from repro.experiments.presets import FIGURE_PRESETS, available_presets, build_preset
+from repro.experiments.runner import MaxFailuresExceeded, run_sweep
 from repro.experiments.spec import ExperimentSpec
-from repro.experiments.store import ResultStore, code_version_salt, job_key
+from repro.experiments.store import (
+    FailureLog,
+    ResultStore,
+    code_version_salt,
+    job_key,
+)
 
 DEFAULT_STORE = Path("benchmarks") / "results" / "store"
 DEFAULT_CACHE = Path("benchmarks") / ".cache"
@@ -48,29 +64,84 @@ def load_experiment(spec: str, smoke: bool = False) -> ExperimentSpec:
     return build_preset(spec, smoke=smoke)
 
 
+def _resolve_spec(args: argparse.Namespace) -> str:
+    """One spec from the positional argument or ``--preset`` (exactly one)."""
+    if args.spec is not None and args.preset is not None:
+        raise SystemExit("pass either a positional spec or --preset, not both")
+    spec = args.spec if args.spec is not None else args.preset
+    if spec is None:
+        raise SystemExit(
+            "missing experiment: pass a preset name / JSON path, or --preset "
+            f"NAME (available: {', '.join(available_presets())})"
+        )
+    return spec
+
+
+def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("spec", nargs="?", default=None,
+                        help="preset name or JSON spec path")
+    parser.add_argument("--preset", default=None, metavar="NAME",
+                        help="built-in preset name (alternative spelling of "
+                             "the positional spec)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="seconds-fast smoke variant of a preset")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Declarative, cached, parallel experiment sweeps.",
+        epilog="See docs/experiments.md for the spec/store/runner model and "
+               "docs/reproducing-figures.md for the paper-figure presets.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list built-in experiment presets")
+    sub.add_parser(
+        "list",
+        help="list built-in experiment presets",
+        epilog="Preset factories live in repro/experiments/presets.py; each "
+               "has a --smoke variant sized for CI.",
+    )
 
-    show = sub.add_parser("show", help="print a sweep's expanded jobs and keys")
-    show.add_argument("spec", help="preset name or JSON spec path")
-    show.add_argument("--smoke", action="store_true", help="smoke variant")
+    show = sub.add_parser(
+        "show",
+        help="print a sweep's expanded jobs, store status and failures",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog="Status per job: 'stored' (artifact present, will be served "
+               "from cache), 'failed' (a logged failure; its traceback is "
+               "printed below the job list), 'pending' (will compute on the "
+               "next run).  Point --store at the store a run used to inspect "
+               "that run's state.",
+    )
+    _add_spec_arguments(show)
+    show.add_argument("--store", type=Path, default=DEFAULT_STORE,
+                      help=f"result store to check against (default {DEFAULT_STORE})")
 
-    run = sub.add_parser("run", help="execute a sweep against the result store")
-    run.add_argument("spec", help="preset name or JSON spec path")
-    run.add_argument("--smoke", action="store_true",
-                     help="seconds-fast smoke variant of a preset")
+    run = sub.add_parser(
+        "run",
+        help="execute a sweep against the result store",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog="Completed jobs are content-addressed in the store, so "
+               "rerunning an identical sweep is a full cache hit and an "
+               "interrupted one resumes byte-identically.  A fig* preset "
+               "also renders its paper-style figure tables (JSON/markdown/"
+               "CSV) into the output directory.",
+    )
+    _add_spec_arguments(run)
     run.add_argument("--jobs", type=int, default=1,
                      help="parallel worker processes (default 1: in-process)")
     run.add_argument("--resume", action="store_true", default=True,
                      help="skip jobs already in the store (default)")
     run.add_argument("--force", action="store_true",
                      help="drop the sweep's cached artifacts and recompute")
+    run.add_argument("--max-failures", type=int, default=None, metavar="N",
+                     help="tolerate up to N failed jobs (logged to the "
+                          "store's failure log) instead of aborting on the "
+                          "first failure")
+    run.add_argument("--inject-failure", type=int, action="append", default=None,
+                     metavar="INDEX",
+                     help="force the job at INDEX to fail (testing aid for "
+                          "the failure path; repeatable)")
     run.add_argument("--store", type=Path, default=DEFAULT_STORE,
                      help=f"result store directory (default {DEFAULT_STORE})")
     run.add_argument("--cache-dir", type=Path, default=DEFAULT_CACHE,
@@ -86,27 +157,59 @@ def _cmd_list() -> int:
     for name in available_presets():
         experiment = build_preset(name, smoke=True)
         jobs = len(experiment.sweep.expand())
-        print(f"  {name:28s} {experiment.description}  [smoke: {jobs} jobs]")
+        figure = "  [figure]" if name in FIGURE_PRESETS else ""
+        print(f"  {name:28s} {experiment.description}  [smoke: {jobs} jobs]{figure}")
     return 0
 
 
 def _cmd_show(args: argparse.Namespace) -> int:
-    experiment = load_experiment(args.spec, smoke=args.smoke)
+    experiment = load_experiment(_resolve_spec(args), smoke=args.smoke)
     jobs = experiment.sweep.expand()
+    store = ResultStore(args.store)
+    failure_log = FailureLog(store)
     print(f"[{experiment.experiment_id}] {experiment.description}")
-    print(f"salt: {code_version_salt()}  jobs: {len(jobs)}")
+    print(f"salt: {code_version_salt()}  jobs: {len(jobs)}  store: {store.root}")
+    failed_keys = []
     for index, job in enumerate(jobs):
-        print(f"  {index:3d} {job_key(job)[:16]} {job.kind:12s} {job.label_dict}")
+        key = job_key(job)
+        if store.has(key):
+            status = "stored"
+        elif failure_log.has(key):
+            status = "FAILED"
+            failed_keys.append(key)
+        else:
+            status = "pending"
+        print(f"  {index:3d} {key[:16]} {status:7s} {job.kind:12s} {job.label_dict}")
+    for key in failed_keys:
+        entry = failure_log.load(key)
+        print(f"\nfailure {key[:16]} (job {entry.get('index')}, "
+              f"{entry.get('kind')} {entry.get('label')}):")
+        print(f"  logged at {entry.get('logged_at')}: {entry.get('error')}")
+        for line in str(entry.get("traceback", "")).rstrip().splitlines():
+            print(f"  | {line}")
+    if failed_keys:
+        print(f"\n{len(failed_keys)} failed job(s); rerun the sweep to retry "
+              "(successful retries clear their log entries)")
     return 0
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    experiment = load_experiment(args.spec, smoke=args.smoke)
+    spec_arg = _resolve_spec(args)
+    experiment = load_experiment(spec_arg, smoke=args.smoke)
+    show_hint = (
+        f"python -m repro.experiments show {spec_arg}"
+        f"{' --smoke' if args.smoke else ''} --store {args.store}"
+    )
     sweep = experiment.sweep
     store = ResultStore(args.store)
     out = args.out
+    experiment_stem = experiment.experiment_id.replace("/", "_").replace("-", "_")
     if out is None:
-        out = DEFAULT_OUT_DIR / f"{experiment.experiment_id.replace('/', '_')}.json"
+        # Figure presets render their figure tables under the canonical
+        # fig*.json stems; keep the sweep aggregate at a distinct path so
+        # neither overwrites the other.
+        suffix = "_sweep" if experiment.experiment_id in FIGURE_PRESETS else ""
+        out = DEFAULT_OUT_DIR / f"{experiment_stem}{suffix}.json"
     try:
         run = run_sweep(
             sweep,
@@ -116,6 +219,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             weights_cache_dir=str(args.cache_dir),
             experiment=experiment,
             progress=print,
+            max_failures=args.max_failures,
+            inject_failures=args.inject_failure or (),
         )
     except KeyboardInterrupt:
         print(
@@ -124,13 +229,36 @@ def _cmd_run(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 130
+    except MaxFailuresExceeded as error:
+        print(f"\nABORTED: {error}", file=sys.stderr)
+        print(f"inspect failures: {show_hint}", file=sys.stderr)
+        return 3
     print()
     print(run.record.to_table())
     run.record.save(out)
+
+    if experiment.experiment_id in FIGURE_PRESETS:
+        from repro.report.figures import render_figure_outputs
+
+        written = render_figure_outputs(
+            experiment.experiment_id, run, store, out.parent
+        )
+        if written:
+            print("\nfigure tables:")
+            for path in written:
+                print(f"  {path}")
+
     print(
         f"\n{run.stats.total} jobs ({run.stats.cached} cached, "
-        f"{run.stats.computed} computed) in {run.stats.elapsed_s:.1f}s -> {out}"
+        f"{run.stats.computed} computed"
+        + (f", {run.stats.failed} FAILED" if run.stats.failed else "")
+        + f") in {run.stats.elapsed_s:.1f}s -> {out}"
     )
+    if run.failures:
+        print(
+            f"{len(run.failures)} tolerated failure(s) logged under "
+            f"{FailureLog(store).root}; surface them with: {show_hint}"
+        )
     return 0
 
 

@@ -20,7 +20,21 @@ hold regardless of execution mode:
 The noise-free clean reference of Monte Carlo jobs is itself a store
 artifact (see :meth:`JobSpec.clean_job`): computed once per (workload, ADC
 config) by whichever job needs it first, then shared by every sibling —
-across grid points, worker processes, and resumed runs.
+across grid points, worker processes, and resumed runs.  The same
+load-or-compute sharing applies to the other cross-job artifacts: the
+bit-line distribution capture behind ``uniform_calibrated`` evaluations
+(:meth:`JobSpec.distribution_job`) and the Algorithm 1 search behind
+``power`` jobs (:meth:`JobSpec.calibration_job`).
+
+* **Failure policy** — a job that raises leaves no store artifact (writes
+  are atomic and happen only on success); the exception and traceback are
+  recorded in the store's :class:`~repro.experiments.store.FailureLog`.
+  With ``max_failures=None`` (default) the first failure aborts the sweep;
+  ``max_failures=N`` tolerates up to ``N`` failed jobs — their rows are
+  simply absent from the aggregate — and aborts with
+  :class:`MaxFailuresExceeded` beyond that.  A later successful run of a
+  previously-failed key clears its log entry, so rerunning a sweep heals
+  transient failures exactly like it resumes interrupted ones.
 """
 
 from __future__ import annotations
@@ -29,20 +43,28 @@ import concurrent.futures
 import dataclasses
 import time
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Union
+from typing import Callable, Collection, Dict, List, Optional, Union
+
+import numpy as np
 
 from repro.experiments.spec import ExperimentSpec, JobSpec, SweepSpec
-from repro.experiments.store import ResultStore, code_version_salt, job_key
+from repro.experiments.store import FailureLog, ResultStore, code_version_salt, job_key
 from repro.report.experiments import ExperimentRecord
 from repro.sim.stats import SimulationResult
 from repro.utils.logging import get_logger
 
 logger = get_logger("experiments.runner")
 
+
+class MaxFailuresExceeded(RuntimeError):
+    """Raised when a sweep's failed-job count exceeds its ``max_failures``."""
+
+
 # Per-process memos (workers inherit empty copies; an in-process serial run
-# reuses prepared workloads and clean references across its jobs).
+# reuses prepared workloads and shared artifacts across its jobs).
 _WORKLOAD_MEMO: Dict[str, object] = {}
 _CLEAN_MEMO: Dict[str, SimulationResult] = {}
+_DISTRIBUTION_MEMO: Dict[str, Dict[str, np.ndarray]] = {}
 
 
 def clear_runner_memos() -> None:
@@ -50,6 +72,7 @@ def clear_runner_memos() -> None:
     that need successive timed runs to start cold)."""
     _WORKLOAD_MEMO.clear()
     _CLEAN_MEMO.clear()
+    _DISTRIBUTION_MEMO.clear()
 
 
 # --------------------------------------------------------------------- #
@@ -104,6 +127,117 @@ def _clean_reference(
     return result
 
 
+def _distribution_samples(
+    job: JobSpec,
+    store: ResultStore,
+    weights_cache_dir: Optional[str],
+    salt: Optional[str],
+) -> Dict[str, np.ndarray]:
+    """Load-or-compute the shared bit-line capture of a calibrated-uniform
+    evaluation (one artifact per (workload, capture params), shared by every
+    sensing precision)."""
+    dist_job = job.distribution_job()
+    key = job_key(dist_job, salt)
+    memo_key = f"{store.root.resolve()}|{key}"
+    memo = _DISTRIBUTION_MEMO.get(memo_key)
+    if memo is not None:
+        return memo
+    if store.has(key):
+        samples = store.load_arrays(key)
+    else:
+        samples = _execute_distribution(dist_job, store, weights_cache_dir, salt, key)
+    _DISTRIBUTION_MEMO[memo_key] = samples
+    return samples
+
+
+def _execute_distribution(
+    job: JobSpec,
+    store: ResultStore,
+    weights_cache_dir: Optional[str],
+    salt: Optional[str],
+    key: str,
+) -> Dict[str, np.ndarray]:
+    prepared = _prepared_workload(job, weights_cache_dir)
+    params = job.distribution
+    images = prepared.calibration.images[: params.images]
+    samples = prepared.simulator.collect_bitline_distributions(
+        images,
+        batch_size=params.batch_size,
+        capacity_per_layer=params.capacity_per_layer,
+        seed=params.seed,
+    )
+    layers = {}
+    for name, values in samples.items():
+        values = np.asarray(values, dtype=np.float64)
+        maximum = float(values.max()) if values.size else 0.0
+        layers[name] = {
+            "count": int(values.size),
+            "median": float(np.median(values)) if values.size else 0.0,
+            "p95": float(np.percentile(values, 95)) if values.size else 0.0,
+            "max": maximum,
+            "frac_below_max_over_8": (
+                float(np.mean(values <= maximum / 8.0)) if maximum > 0 else 1.0
+            ),
+        }
+    pooled = (
+        np.concatenate([np.asarray(v, dtype=np.float64) for v in samples.values()])
+        if samples else np.empty(0)
+    )
+    pooled_max = float(pooled.max()) if pooled.size else 0.0
+    row = {
+        "layers": len(samples),
+        "total_samples": int(pooled.size),
+        "pooled_median": float(np.median(pooled)) if pooled.size else 0.0,
+        "pooled_max": pooled_max,
+        "pooled_frac_below_max_over_4": (
+            float(np.mean(pooled <= pooled_max / 4.0)) if pooled_max > 0 else 1.0
+        ),
+    }
+    payload = {
+        "key": key,
+        "salt": salt if salt is not None else code_version_salt(),
+        "spec": job.to_dict(),
+        "row": row,
+        "layer_summaries": layers,
+    }
+    arrays = {name: np.asarray(values, dtype=np.float64) for name, values in samples.items()}
+    store.save(key, payload, arrays)
+    return arrays
+
+
+def _execute_reference_evaluate(
+    job: JobSpec,
+    store: ResultStore,
+    weights_cache_dir: Optional[str],
+    salt: Optional[str],
+    key: str,
+) -> None:
+    """``datapath="float"``/``"fakequant"``: one forward pass of the trained
+    (or fake-quantized) model — the paper's f/f and 8/f reference points."""
+    from repro.nn import top1_accuracy
+    from repro.quantization import FakeQuantBackend, attach_backend, detach_backend
+
+    prepared = _prepared_workload(job, weights_cache_dir)
+    split = prepared.eval_split(job.images)
+    model = prepared.model
+    model.eval()
+    if job.datapath == "fakequant":
+        attach_backend(model, FakeQuantBackend(prepared.quantized))
+        try:
+            accuracy = top1_accuracy(model(split.images), split.labels)
+        finally:
+            detach_backend(model)
+    else:
+        accuracy = top1_accuracy(model(split.images), split.labels)
+    payload = {
+        "key": key,
+        "salt": salt if salt is not None else code_version_salt(),
+        "spec": job.to_dict(),
+        "row": {"accuracy": float(accuracy), "num_images": float(len(split.labels))},
+    }
+    store.save(key, payload)
+
+
 def _execute_evaluate(
     job: JobSpec,
     store: ResultStore,
@@ -114,7 +248,11 @@ def _execute_evaluate(
     prepared = _prepared_workload(job, weights_cache_dir)
     simulator = prepared.simulator
     split = prepared.eval_split(job.images)
-    configs = job.adc.build_configs(simulator.layer_names())
+    if job.adc.needs_distributions:
+        samples = _distribution_samples(job, store, weights_cache_dir, salt)
+        configs = job.adc.build_configs_from_samples(samples)
+    else:
+        configs = job.adc.build_configs(simulator.layer_names())
     result = simulator.evaluate(
         split.images, split.labels, configs, batch_size=job.batch_size
     )
@@ -148,7 +286,11 @@ def _execute_monte_carlo(
     prepared = _prepared_workload(job, weights_cache_dir)
     simulator = prepared.simulator
     split = prepared.eval_split(job.images)
-    configs = job.adc.build_configs(simulator.layer_names())
+    if job.adc.needs_distributions:
+        samples = _distribution_samples(job, store, weights_cache_dir, salt)
+        configs = job.adc.build_configs_from_samples(samples)
+    else:
+        configs = job.adc.build_configs(simulator.layer_names())
     stack = job.noise.build_stack()
     result = simulator.run_monte_carlo(
         split.images,
@@ -183,18 +325,26 @@ def _execute_calibration(
     weights_cache_dir: Optional[str],
     salt: Optional[str],
     key: str,
-) -> None:
+) -> Dict[str, object]:
     from repro.core import CoDesignOptimizer, SearchSpaceConfig
     from repro.datasets import sample_calibration_set
 
     prepared = _prepared_workload(job, weights_cache_dir)
     split = prepared.eval_split(job.images)
     params = job.calibration
-    calibration = sample_calibration_set(
-        prepared.dataset.train,
-        num_images=params.calibration_size,
-        seed=params.resolved_calib_seed,
-    )
+    if params.source == "workload":
+        # The prepared calibration split — what the figure benchmarks feed
+        # the optimizer, making these jobs bit-identical to the pre-port
+        # pipeline.
+        calibration = prepared.calibration
+        if params.calibration_size < len(calibration.labels):
+            calibration = calibration.subset(np.arange(params.calibration_size))
+    else:
+        calibration = sample_calibration_set(
+            prepared.dataset.train,
+            num_images=params.calibration_size,
+            seed=params.resolved_calib_seed,
+        )
     optimizer = CoDesignOptimizer(
         prepared.model,
         calibration.images,
@@ -218,11 +368,87 @@ def _execute_calibration(
         "remaining_ops_fraction": result.remaining_ops_fraction,
         "ops_reduction_factor": result.ops_reduction_factor,
     }
+    evaluation = result.evaluation
     payload = {
         "key": key,
         "salt": salt if salt is not None else code_version_salt(),
         "spec": job.to_dict(),
         "row": row,
+        # Per-layer data for downstream consumers: the Fig. 6c per-layer
+        # table and the Fig. 7 power model (measured A/D ops per conversion).
+        "per_layer_remaining_fraction": evaluation.per_layer_remaining_fraction(),
+        "per_layer_ops_per_conversion": {
+            name: stats.mean_ops_per_conversion
+            for name, stats in evaluation.layer_stats.items()
+        },
+        "evaluation": evaluation.to_payload(),
+    }
+    store.save(key, payload)
+    return payload
+
+
+def _calibration_payload(
+    job: JobSpec,
+    store: ResultStore,
+    weights_cache_dir: Optional[str],
+    salt: Optional[str],
+) -> Dict[str, object]:
+    """Load-or-compute the Algorithm 1 sibling a power job consumes."""
+    cal_job = job.calibration_job()
+    key = job_key(cal_job, salt)
+    if store.has(key):
+        return store.load(key)
+    return _execute_calibration(cal_job, store, weights_cache_dir, salt, key)
+
+
+def _execute_power(
+    job: JobSpec,
+    store: ResultStore,
+    weights_cache_dir: Optional[str],
+    salt: Optional[str],
+    key: str,
+) -> None:
+    from repro.arch import AcceleratorMapping, breakdown_table, compare_configurations
+    from repro.nn.models import workload_info
+
+    cal_payload = _calibration_payload(job, store, weights_cache_dir, salt)
+    trq_ops = {
+        name: float(value)
+        for name, value in cal_payload["per_layer_ops_per_conversion"].items()
+    }
+    prepared = _prepared_workload(job, weights_cache_dir)
+    name = job.workload.name
+    info = workload_info(name)
+    image_shape = (info["in_channels"], info["image_size"], info["image_size"])
+    mapping = AcceleratorMapping(prepared.quantized, image_shape)
+    spec = job.power
+    comparison = compare_configurations(
+        name,
+        mapping,
+        trq_ops,
+        uniform_bits=spec.uniform_bits,
+        power_model=spec.build_power_model(),
+        trq_label=spec.trq_label,
+    )
+    breakdown_rows = breakdown_table([comparison])
+    baseline = comparison.by_label("ISAAC")
+    ours = comparison.by_label(spec.trq_label)
+    row = {
+        "workload": name,
+        "isaac_total_J": baseline.total,
+        "trq_total_J": ours.total,
+        "uniform_total_J": comparison.by_label(f"UQ({spec.uniform_bits}b)").total,
+        "adc_reduction_vs_isaac": comparison.adc_reduction_vs_baseline(spec.trq_label),
+        "total_reduction_vs_isaac": comparison.total_reduction_vs_baseline(spec.trq_label),
+        "baseline_adc_fraction": baseline.fraction("ADC"),
+    }
+    payload = {
+        "key": key,
+        "salt": salt if salt is not None else code_version_salt(),
+        "spec": job.to_dict(),
+        "row": row,
+        "breakdown_rows": breakdown_rows,
+        "calibration_key": job_key(job.calibration_job(), salt),
     }
     store.save(key, payload)
 
@@ -242,11 +468,18 @@ def execute_job(
         return key
     started = time.perf_counter()
     if job.kind == "evaluate":
-        _execute_evaluate(job, store, weights_cache_dir, salt, key)
+        if job.datapath == "pim":
+            _execute_evaluate(job, store, weights_cache_dir, salt, key)
+        else:
+            _execute_reference_evaluate(job, store, weights_cache_dir, salt, key)
     elif job.kind == "monte_carlo":
         _execute_monte_carlo(job, store, weights_cache_dir, salt, key)
     elif job.kind == "calibration":
         _execute_calibration(job, store, weights_cache_dir, salt, key)
+    elif job.kind == "distribution":
+        _execute_distribution(job, store, weights_cache_dir, salt, key)
+    elif job.kind == "power":
+        _execute_power(job, store, weights_cache_dir, salt, key)
     else:  # pragma: no cover - JobSpec validates kinds
         raise ValueError(f"unknown job kind {job.kind!r}")
     logger.debug("job %s (%s) in %.2fs", key[:12], job.kind, time.perf_counter() - started)
@@ -258,9 +491,14 @@ def _worker_execute(
     store_root: str,
     weights_cache_dir: Optional[str],
     salt: Optional[str],
+    inject_failure: bool = False,
 ) -> str:
     """Top-level (picklable) entry point for pool workers."""
     job = JobSpec.from_dict(job_dict)
+    if inject_failure:
+        raise RuntimeError(
+            f"injected failure (--inject-failure) for {job.kind} job {job.label_dict}"
+        )
     return execute_job(job, ResultStore(store_root), weights_cache_dir, salt)
 
 
@@ -274,18 +512,27 @@ class SweepRunStats:
     total: int = 0
     cached: int = 0
     computed: int = 0
+    failed: int = 0
     elapsed_s: float = 0.0
 
 
 @dataclasses.dataclass
 class SweepRun:
-    """Outcome of :func:`run_sweep`: the ordered rows and their record."""
+    """Outcome of :func:`run_sweep`: the ordered rows and their record.
+
+    ``failures`` lists the tolerated failures of this invocation (empty
+    unless ``max_failures`` allowed the sweep to continue past errors);
+    each entry mirrors its persisted failure-log record.  Rows of failed
+    jobs are absent from ``rows`` — order of the surviving rows still
+    follows the grid expansion.
+    """
 
     sweep: SweepSpec
     keys: List[str]
     rows: List[Dict[str, object]]
     record: ExperimentRecord
     stats: SweepRunStats
+    failures: List[Dict[str, object]] = dataclasses.field(default_factory=list)
 
 
 def prewarm_workloads(
@@ -327,6 +574,8 @@ def run_sweep(
     prewarm: Optional[bool] = None,
     experiment: Optional[ExperimentSpec] = None,
     progress: Optional[Callable[[str], None]] = None,
+    max_failures: Optional[int] = None,
+    inject_failures: Collection[int] = (),
 ) -> SweepRun:
     """Execute a sweep against a result store and aggregate its table.
 
@@ -342,6 +591,16 @@ def run_sweep(
         Defaults to ``jobs > 1 and weights_cache_dir is not None``.
     experiment:
         Reporting identity; defaults to one derived from the sweep name.
+    max_failures:
+        ``None`` (default): the first failing job aborts the sweep (after
+        logging it).  ``N``: tolerate up to ``N`` failed jobs — each is
+        recorded in the store's failure log and its row is absent from the
+        aggregate; failure ``N+1`` aborts with :class:`MaxFailuresExceeded`.
+    inject_failures:
+        Job indices forced to raise instead of executing — a testing aid
+        (the CLI's ``--inject-failure``) for exercising the failure path
+        end to end.  Injected failures follow the same logging/tolerance
+        rules as real ones.
 
     The returned :class:`SweepRun` carries rows in expansion order; the
     aggregate is identical whether the sweep ran serially, in parallel, or
@@ -355,6 +614,9 @@ def run_sweep(
     started = time.perf_counter()
     expanded = sweep.expand()
     keys = [job_key(job, salt) for job in expanded]
+    failure_log = FailureLog(store)
+    failures: List[Dict[str, object]] = []
+    inject = frozenset(int(index) for index in inject_failures)
 
     if force:
         for job, key in zip(expanded, keys):
@@ -374,6 +636,23 @@ def run_sweep(
             f"{stats.cached} cached, {len(pending)} to run (jobs={jobs})"
         )
 
+    def note_failure(index: int, job: JobSpec, error: BaseException) -> None:
+        """Log one failed job; re-raise when the failure budget is spent."""
+        key = keys[index]
+        entry = failure_log.record(key, job, error, index=index)
+        failures.append(entry)
+        stats.failed += 1
+        if progress is not None:
+            progress(f"  FAILED [{index}] {job.kind} {job.label_dict}: "
+                     f"{entry['error']} (logged to {failure_log.path(key)})")
+        if max_failures is None:
+            raise error
+        if stats.failed > max_failures:
+            raise MaxFailuresExceeded(
+                f"sweep '{sweep.name}' exceeded max_failures={max_failures} "
+                f"({stats.failed} failed jobs; see {failure_log.root})"
+            ) from error
+
     if pending:
         if prewarm is None:
             prewarm = jobs > 1 and weights_cache_dir is not None
@@ -381,39 +660,79 @@ def run_sweep(
             prewarm_workloads([job for _, job in pending], weights_cache_dir, progress)
         if jobs == 1:
             for index, job in pending:
-                execute_job(job, store, weights_cache_dir, salt)
+                try:
+                    if index in inject:
+                        raise RuntimeError(
+                            f"injected failure (--inject-failure) for {job.kind} "
+                            f"job {job.label_dict}"
+                        )
+                    execute_job(job, store, weights_cache_dir, salt)
+                except KeyboardInterrupt:
+                    raise
+                except Exception as error:  # noqa: BLE001 - policy decides
+                    note_failure(index, job, error)
+                    continue
                 stats.computed += 1
                 if progress is not None:
                     progress(f"  [{stats.cached + stats.computed}/{stats.total}] "
                              f"{job.kind} {job.label_dict}")
         else:
-            # First wave: the unique clean references the pending Monte
-            # Carlo jobs will share.  Materialised before the MC fan-out so
-            # concurrent workers don't race past the store check and each
-            # recompute the same reference ("computed once per (workload,
-            # config)" is a wall-clock contract, not just a storage one).
-            clean_wave: Dict[str, JobSpec] = {}
-            for _, job in pending:
+            # First wave: the unique shared artifacts the pending jobs will
+            # load — clean references of Monte Carlo jobs, distribution
+            # captures of calibrated-uniform evaluations, calibration
+            # siblings of power jobs.  Materialised before the main fan-out
+            # so concurrent workers don't race past the store check and each
+            # recompute the same artifact ("computed once per configuration"
+            # is a wall-clock contract, not just a storage one).  A wave
+            # failure is deferred: the dependent main jobs fail too and are
+            # logged/counted under the sweep's failure policy.
+            shared_wave: Dict[str, JobSpec] = {}
+            for index, job in pending:
+                if index in inject:
+                    continue  # its shared artifact would be wasted work
+                siblings = []
                 if job.kind == "monte_carlo":
-                    clean = job.clean_job()
-                    clean_key = job_key(clean, salt)
-                    if not store.has(clean_key):
-                        clean_wave.setdefault(clean_key, clean)
+                    siblings.append(job.clean_job())
+                if job.kind in ("evaluate", "monte_carlo") \
+                        and job.datapath == "pim" and job.adc.needs_distributions:
+                    siblings.append(job.distribution_job())
+                if job.kind == "power":
+                    siblings.append(job.calibration_job())
+                for sibling in siblings:
+                    sibling_key = job_key(sibling, salt)
+                    if not store.has(sibling_key):
+                        shared_wave.setdefault(sibling_key, sibling)
             with concurrent.futures.ProcessPoolExecutor(max_workers=jobs) as pool:
-                if clean_wave:
+                if shared_wave:
                     if progress is not None:
-                        progress(f"  computing {len(clean_wave)} shared clean "
-                                 "reference(s)")
-                    wave = [
-                        pool.submit(
-                            _worker_execute, job.to_dict(), str(store.root),
-                            weights_cache_dir, salt,
-                        )
-                        for job in clean_wave.values()
-                    ]
+                        progress(f"  computing {len(shared_wave)} shared "
+                                 "artifact(s) (clean refs / distributions / "
+                                 "calibrations)")
+                    # Two phases: distribution captures first, because a
+                    # clean reference over a calibrated-uniform ADC itself
+                    # loads the capture — submitting both at once would let
+                    # two workers compute the same capture concurrently.
+                    phases = (
+                        [j for j in shared_wave.values() if j.kind == "distribution"],
+                        [j for j in shared_wave.values() if j.kind != "distribution"],
+                    )
                     try:
-                        for future in concurrent.futures.as_completed(wave):
-                            future.result()
+                        for phase_jobs in phases:
+                            wave = [
+                                pool.submit(
+                                    _worker_execute, job.to_dict(),
+                                    str(store.root), weights_cache_dir, salt,
+                                )
+                                for job in phase_jobs
+                            ]
+                            for future in concurrent.futures.as_completed(wave):
+                                try:
+                                    future.result()
+                                except Exception as error:  # noqa: BLE001
+                                    logger.warning(
+                                        "shared artifact failed (%s); dependent "
+                                        "jobs will fail and be logged", error,
+                                    )
                     except KeyboardInterrupt:
                         pool.shutdown(wait=False, cancel_futures=True)
                         raise
@@ -424,15 +743,24 @@ def run_sweep(
                         str(store.root),
                         weights_cache_dir,
                         salt,
+                        index in inject,
                     ): (index, job)
                     for index, job in pending
                 }
                 try:
                     for future in concurrent.futures.as_completed(futures):
-                        future.result()  # re-raise worker failures
+                        index, job = futures[future]
+                        try:
+                            future.result()
+                        except Exception as error:  # noqa: BLE001
+                            try:
+                                note_failure(index, job, error)
+                            except BaseException:
+                                pool.shutdown(wait=False, cancel_futures=True)
+                                raise
+                            continue
                         stats.computed += 1
                         if progress is not None:
-                            index, job = futures[future]
                             progress(
                                 f"  [{stats.cached + stats.computed}/{stats.total}] "
                                 f"{job.kind} {job.label_dict}"
@@ -446,24 +774,39 @@ def run_sweep(
     # Deterministic aggregation: rows come from the store in job order (so
     # completion order / worker count / resume history cannot influence
     # them), with each job's grid-coordinate labels merged in from the spec.
-    rows = [
-        {**job.label_dict, **store.load(key)["row"]}
-        for job, key in zip(expanded, keys)
-    ]
+    # Jobs whose artifact is absent (tolerated failures) contribute no row;
+    # a stored key with a stale failure entry has healed, so clear it.
+    rows = []
+    for job, key in zip(expanded, keys):
+        if not store.has(key):
+            continue
+        if failure_log.has(key):
+            failure_log.clear(key)
+        rows.append({**job.label_dict, **store.load(key)["row"]})
     stats.elapsed_s = time.perf_counter() - started
 
     if experiment is None:
         experiment = ExperimentSpec(experiment_id=sweep.name, sweep=sweep)
+    metadata = {
+        "sweep": sweep.to_dict(),
+        "salt": salt if salt is not None else code_version_salt(),
+        "num_jobs": len(expanded),
+        "job_keys": keys,
+    }
+    if failures:
+        metadata["failures"] = [
+            {"index": f["index"], "key": f["key"], "kind": f["kind"],
+             "label": f["label"], "error": f["error"]}
+            for f in failures
+        ]
     record = ExperimentRecord(
         experiment_id=experiment.experiment_id,
         description=experiment.description or f"experiment sweep '{sweep.name}'",
         paper_reference=experiment.paper_reference,
         rows=rows,
-        metadata={
-            "sweep": sweep.to_dict(),
-            "salt": salt if salt is not None else code_version_salt(),
-            "num_jobs": len(expanded),
-            "job_keys": keys,
-        },
+        metadata=metadata,
     )
-    return SweepRun(sweep=sweep, keys=keys, rows=rows, record=record, stats=stats)
+    return SweepRun(
+        sweep=sweep, keys=keys, rows=rows, record=record, stats=stats,
+        failures=failures,
+    )

@@ -3,22 +3,43 @@
 A sweep is described *declaratively* — which workloads, which ADC
 configurations, which non-ideality scenarios, which Monte Carlo seeds — and
 :meth:`SweepSpec.expand` turns the grid into an ordered list of *atomic*
-:class:`JobSpec` jobs.  Every job resolves to a plain-JSON dict
+:class:`JobSpec` jobs.
+
+**The hash contract.**  Every job resolves to a plain-JSON dict
 (:meth:`JobSpec.resolved`) that includes the workload's full configuration
-fingerprint (:func:`repro.workloads.workload_fingerprint`), which is what
-the content-addressed result store hashes: two jobs with the same resolved
-dict are the same experiment, and any edited field — a preset's width
-multiplier, a noise sigma, a trial count — yields a new address.
+fingerprint (:func:`repro.workloads.workload_fingerprint`), and the
+content-addressed result store hashes exactly that dict (plus the
+code-version salt, see :mod:`repro.experiments.store`).  Two jobs with the
+same resolved dict are the same experiment; any edited field the job kind
+*consumes* — a preset's width multiplier, a noise sigma, a trial count, a
+sensing-precision bit-width, a power-model constant — yields a new address
+and therefore invalidates the stored result.  Conversely, fields a kind does
+**not** consume (labels, a uniform spec's TRQ knobs, the engine of a
+calibration job) are excluded from the resolved dict, so editing them keeps
+serving the cached artifact.
 
-Three job kinds cover the repository's evaluation surface:
+Five job kinds cover the repository's evaluation surface:
 
-* ``evaluate`` — one deterministic (noise-free) datapath run under a given
-  per-layer ADC configuration; also serves as the shared *clean reference*
-  of Monte Carlo jobs (:meth:`JobSpec.clean_job`).
+* ``evaluate`` — one deterministic (noise-free) run.  The ``datapath`` axis
+  selects what is evaluated: the PIM crossbar+ADC datapath (``"pim"``, the
+  default — also the shared *clean reference* of Monte Carlo jobs, see
+  :meth:`JobSpec.clean_job`), the trained float model (``"float"``, the
+  paper's *f/f* reference) or the fake-quantized model (``"fakequant"``,
+  the *8/f* reference).  The ADC axis includes ``uniform_calibrated`` mode,
+  whose per-layer full-scale ranges derive from a shared bit-line
+  distribution artifact (:meth:`JobSpec.distribution_job`) — the Fig. 6
+  sensing-precision axis.
 * ``monte_carlo`` — :meth:`repro.sim.PimSimulator.run_monte_carlo` trials
   under a keyed non-ideality stack.
 * ``calibration`` — the Algorithm 1 co-design search
-  (:class:`repro.core.CoDesignOptimizer`) under varying calibration budgets.
+  (:class:`repro.core.CoDesignOptimizer`) under varying calibration budgets
+  and sensing-precision caps (``initial_n_max`` — the Fig. 6b/6c axis).
+* ``distribution`` — bit-line value capture on the calibration images
+  (Fig. 3a); also the shared input of ``uniform_calibrated`` evaluations.
+* ``power`` — the Fig. 7 accelerator energy breakdown (ISAAC baseline vs
+  calibrated TRQ vs reduced-precision uniform), parameterized by a
+  first-class :class:`PowerSpec` axis; shares its calibration sibling
+  through the store (:meth:`JobSpec.calibration_job`).
 """
 
 from __future__ import annotations
@@ -31,7 +52,9 @@ from repro.core.trq import TRQParams
 from repro.utils.config import canonical_json
 from repro.workloads import default_epochs, workload_fingerprint
 
-JOB_KINDS = ("evaluate", "monte_carlo", "calibration")
+JOB_KINDS = ("evaluate", "monte_carlo", "calibration", "distribution", "power")
+
+DATAPATHS = ("pim", "float", "fakequant")
 
 
 # --------------------------------------------------------------------- #
@@ -82,9 +105,17 @@ class AdcSpec:
 
     ``mode="ideal"`` is the no-ADC reference (ideal conversion).  The
     twin-range defaults are the TRQ parameters the benchmarks use.
+
+    ``mode="uniform_calibrated"`` is the Fig. 6 sensing-precision axis: a
+    ``uniform_bits``-bit uniform converter whose per-layer full scale is
+    calibrated to the maximum bit-line value observed on the workload's
+    calibration images (:func:`repro.core.uniform_adc_configs`).  The
+    capture parameters (``calib_*``/``calib_capacity``) identify the shared
+    bit-line distribution artifact the configs derive from — every
+    bit-width over the same capture shares one stored distribution job.
     """
 
-    mode: str = "twin_range"  # "ideal" | "uniform" | "twin_range"
+    mode: str = "twin_range"  # "ideal" | "uniform" | "twin_range" | "uniform_calibrated"
     resolution: int = 8
     v_grid: float = 1.0
     uniform_bits: Optional[int] = None
@@ -93,16 +124,42 @@ class AdcSpec:
     m: int = 3
     delta_r1: float = 1.0
     bias: int = 0
+    # uniform_calibrated only: the distribution-capture parameters.
+    calib_images: int = 16
+    calib_batch_size: int = 8
+    calib_seed: int = 0
+    calib_capacity: int = 100_000
 
     def __post_init__(self) -> None:
-        if self.mode not in ("ideal", "uniform", "twin_range"):
+        if self.mode not in ("ideal", "uniform", "twin_range", "uniform_calibrated"):
             raise ValueError(f"unknown ADC mode {self.mode!r}")
-        self.build_config()  # validate eagerly
+        if self.mode == "uniform_calibrated":
+            bits = self.resolved_uniform_bits
+            if not 1 <= bits <= self.resolution:
+                raise ValueError(
+                    f"uniform_calibrated bits {bits} outside 1..{self.resolution}"
+                )
+        else:
+            self.build_config()  # validate eagerly
+
+    @property
+    def resolved_uniform_bits(self) -> int:
+        return self.uniform_bits if self.uniform_bits is not None else self.resolution
+
+    @property
+    def needs_distributions(self) -> bool:
+        """True when building the configs requires bit-line samples."""
+        return self.mode == "uniform_calibrated"
 
     def build_config(self) -> Optional[AdcConfig]:
         """The :class:`~repro.adc.config.AdcConfig` this spec denotes."""
         if self.mode == "ideal":
             return None
+        if self.mode == "uniform_calibrated":
+            raise ValueError(
+                "uniform_calibrated configs derive from bit-line distributions; "
+                "use build_configs_from_samples()"
+            )
         if self.mode == "uniform":
             return uniform_config(
                 resolution=self.resolution, bits=self.uniform_bits, v_grid=self.v_grid
@@ -119,20 +176,44 @@ class AdcSpec:
             return None
         return {name: config for name in layer_names}
 
+    def build_configs_from_samples(self, layer_samples) -> Dict[str, AdcConfig]:
+        """Range-calibrated per-layer configs from collected bit-line samples."""
+        from repro.core.co_design import uniform_adc_configs  # lazy: avoids cycle
+
+        return uniform_adc_configs(
+            layer_samples, bits=self.resolved_uniform_bits, resolution=self.resolution
+        )
+
+    def distribution_params(self) -> "DistributionParams":
+        """The capture that identifies the shared distribution artifact."""
+        return DistributionParams(
+            images=self.calib_images,
+            batch_size=self.calib_batch_size,
+            capacity_per_layer=self.calib_capacity,
+            seed=self.calib_seed,
+        )
+
     def resolved(self) -> Dict[str, object]:
         """Only the fields the mode actually consumes, so e.g. editing the
         (unused) TRQ defaults of a ``uniform`` spec cannot re-address
         results that are bit-identical."""
         if self.mode == "ideal":
             return {"mode": self.mode}
+        if self.mode == "uniform_calibrated":
+            # v_grid is derived from the captured distributions, not consumed.
+            return {
+                "mode": self.mode,
+                "resolution": int(self.resolution),
+                "uniform_bits": int(self.resolved_uniform_bits),
+                "distribution": self.distribution_params().resolved(),
+            }
         base = {
             "mode": self.mode,
             "resolution": int(self.resolution),
             "v_grid": float(self.v_grid),
         }
         if self.mode == "uniform":
-            bits = self.uniform_bits if self.uniform_bits is not None else self.resolution
-            base["uniform_bits"] = int(bits)
+            base["uniform_bits"] = int(self.resolved_uniform_bits)
             return base
         base.update(
             n_r1=int(self.n_r1), n_r2=int(self.n_r2), m=int(self.m),
@@ -146,6 +227,97 @@ class AdcSpec:
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "AdcSpec":
         return cls(**data)
+
+
+@dataclasses.dataclass(frozen=True)
+class DistributionParams:
+    """One bit-line distribution capture (``kind="distribution"``).
+
+    ``images`` counts *workload calibration images* (the capture runs on
+    ``prepared.calibration.images[:images]``), so the sample arrays are a
+    deterministic function of the workload fingerprint plus these fields.
+    The reservoir ``capacity_per_layer`` is part of the identity because it
+    changes which samples are retained (and hence the observed maxima).
+    """
+
+    images: int = 16
+    batch_size: int = 8
+    capacity_per_layer: int = 100_000
+    seed: int = 0
+
+    def resolved(self) -> Dict[str, object]:
+        return {
+            "images": int(self.images),
+            "batch_size": int(self.batch_size),
+            "capacity_per_layer": int(self.capacity_per_layer),
+            "seed": int(self.seed),
+        }
+
+    def to_dict(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "DistributionParams":
+        return cls(**data)
+
+
+@dataclasses.dataclass(frozen=True)
+class PowerSpec:
+    """One point of the power-model axis (``kind="power"``, Fig. 7).
+
+    ``uniform_bits`` is the resolution of the uniform-ADC alternative that
+    reaches comparable accuracy (7-8 bits in the paper).  ``constants``
+    optionally overrides individual :class:`repro.arch.EnergyConstants`
+    fields; the *resolved* constants (defaults expanded) are part of the
+    job address, so editing an energy constant — in the spec or in the
+    library defaults — re-addresses every dependent breakdown.
+    """
+
+    uniform_bits: int = 7
+    trq_label: str = "Ours/4b"
+    constants: Optional[Dict[str, float]] = None
+
+    def __post_init__(self) -> None:
+        if self.constants is not None:
+            object.__setattr__(self, "constants", dict(self.constants))
+        self.resolved_constants()  # validate overrides eagerly
+
+    def resolved_constants(self) -> Dict[str, float]:
+        from repro.arch.power import EnergyConstants  # lazy: heavy subpackage
+
+        overrides = dict(self.constants or {})
+        constants = EnergyConstants(**overrides)
+        return {
+            field.name: float(getattr(constants, field.name))
+            for field in dataclasses.fields(constants)
+        }
+
+    def build_power_model(self):
+        from repro.arch.power import EnergyConstants, PowerModel  # lazy
+
+        return PowerModel(EnergyConstants(**dict(self.constants or {})))
+
+    def resolved(self) -> Dict[str, object]:
+        return {
+            "uniform_bits": int(self.uniform_bits),
+            "trq_label": str(self.trq_label),
+            "constants": self.resolved_constants(),
+        }
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "uniform_bits": self.uniform_bits,
+            "trq_label": self.trq_label,
+            "constants": None if self.constants is None else dict(self.constants),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "PowerSpec":
+        return cls(
+            uniform_bits=int(data.get("uniform_bits", 7)),
+            trq_label=data.get("trq_label", "Ours/4b"),
+            constants=data.get("constants"),
+        )
 
 
 @dataclasses.dataclass(frozen=True)
@@ -207,7 +379,17 @@ class NoiseScenario:
 
 @dataclasses.dataclass(frozen=True)
 class CalibrationParams:
-    """Knobs of one Algorithm 1 co-design run (``kind="calibration"``)."""
+    """Knobs of one Algorithm 1 co-design run (``kind="calibration"``).
+
+    ``source`` selects the calibration images: ``"resampled"`` draws a fresh
+    ``calibration_size``-image set from the training split (seeded by
+    ``calib_seed`` — the calibration-size ablation), while ``"workload"``
+    uses the workload's own prepared calibration split (truncated to
+    ``calibration_size``) — exactly what the figure benchmarks feed the
+    optimizer, so figure calibration jobs reproduce the pre-port pipeline
+    bit for bit.  ``initial_n_max`` is the sensing-precision cap swept in
+    Fig. 6b/6c.
+    """
 
     calibration_size: int = 32
     calib_seed: Optional[int] = None  # None: use calibration_size (legacy sweep)
@@ -215,6 +397,11 @@ class CalibrationParams:
     max_samples_per_layer: int = 8192
     use_accuracy_loop: bool = False
     initial_n_max: int = 4
+    source: str = "resampled"  # "resampled" | "workload"
+
+    def __post_init__(self) -> None:
+        if self.source not in ("resampled", "workload"):
+            raise ValueError(f"unknown calibration source {self.source!r}")
 
     @property
     def resolved_calib_seed(self) -> int:
@@ -222,7 +409,12 @@ class CalibrationParams:
 
     def resolved(self) -> Dict[str, object]:
         data = dataclasses.asdict(self)
-        data["calib_seed"] = self.resolved_calib_seed
+        if self.source == "workload":
+            # The workload split is fixed by the workload spec; the resample
+            # seed is never consumed, so it must not re-address results.
+            data.pop("calib_seed")
+        else:
+            data["calib_seed"] = self.resolved_calib_seed
         return data
 
     def to_dict(self) -> Dict[str, object]:
@@ -255,16 +447,23 @@ class JobSpec:
     images: int = 32
     batch_size: int = 16
     engine: str = "fast"
+    datapath: str = "pim"
     noise: Optional[NoiseScenario] = None
     trials: int = 0
     mc_seed: int = 0
     confidence: float = 0.95
     calibration: Optional[CalibrationParams] = None
+    distribution: Optional[DistributionParams] = None
+    power: Optional[PowerSpec] = None
     label: Tuple[Tuple[str, object], ...] = ()
 
     def __post_init__(self) -> None:
         if self.kind not in JOB_KINDS:
             raise ValueError(f"unknown job kind {self.kind!r} (expected {JOB_KINDS})")
+        if self.datapath not in DATAPATHS:
+            raise ValueError(
+                f"unknown datapath {self.datapath!r} (expected {DATAPATHS})"
+            )
         if self.kind == "monte_carlo":
             # (Zero-noise scenarios are rewritten to evaluate jobs by
             # SweepSpec.expand, so a monte_carlo job always carries models.)
@@ -274,6 +473,16 @@ class JobSpec:
                 raise ValueError("monte_carlo jobs need trials >= 1")
         if self.kind == "calibration" and self.calibration is None:
             raise ValueError("calibration jobs need calibration params")
+        if self.kind == "distribution" and self.distribution is None:
+            object.__setattr__(self, "distribution", DistributionParams())
+        if self.kind == "power":
+            if self.calibration is None:
+                raise ValueError(
+                    "power jobs need calibration params (the TRQ sibling "
+                    "whose measured per-layer A/D operations they consume)"
+                )
+            if self.power is None:
+                object.__setattr__(self, "power", PowerSpec())
         label = self.label
         if isinstance(label, dict):
             label = tuple(sorted(label.items()))
@@ -296,19 +505,34 @@ class JobSpec:
         data: Dict[str, object] = {
             "kind": self.kind,
             "workload": self.workload.resolved(),
-            "images": int(self.images),
-            "batch_size": int(self.batch_size),
         }
-        if self.kind in ("evaluate", "monte_carlo"):
+        if self.kind == "distribution":
+            # The capture has its own image/batch parameters; the sweep-level
+            # eval images/batch size are never consumed.
+            data["distribution"] = self.distribution.resolved()
+            return data
+        data["images"] = int(self.images)
+        if self.kind == "evaluate":
+            data["datapath"] = self.datapath
+            if self.datapath == "pim":
+                data["batch_size"] = int(self.batch_size)
+                data["adc"] = self.adc.resolved()
+                data["engine"] = self.engine
+            # float/fakequant references are single forward passes of the
+            # trained (or fake-quantized) model: no ADC, engine or batching.
+            return data
+        data["batch_size"] = int(self.batch_size)
+        if self.kind == "monte_carlo":
             data["adc"] = self.adc.resolved()
             data["engine"] = self.engine
-        if self.kind == "monte_carlo":
             data["noise"] = None if self.noise is None else self.noise.resolved()
             data["trials"] = int(self.trials)
             data["mc_seed"] = int(self.mc_seed)
             data["confidence"] = float(self.confidence)
-        if self.kind == "calibration":
+        if self.kind in ("calibration", "power"):
             data["calibration"] = self.calibration.resolved()
+        if self.kind == "power":
+            data["power"] = self.power.resolved()
         return data
 
     def canonical(self) -> str:
@@ -332,6 +556,37 @@ class JobSpec:
             engine=self.engine,
         )
 
+    def distribution_job(self) -> "JobSpec":
+        """The shared bit-line capture a ``uniform_calibrated`` evaluation
+        derives its per-layer full-scale ranges from.
+
+        Every bit-width over the same (workload, capture parameters) maps to
+        the *same* distribution job — and hence the same store address — so
+        the Fig. 6 sensing-precision sweep captures distributions once per
+        workload, not once per precision.
+        """
+        return JobSpec(
+            kind="distribution",
+            workload=self.workload,
+            distribution=self.adc.distribution_params(),
+        )
+
+    def calibration_job(self) -> "JobSpec":
+        """The Algorithm 1 sibling a ``power`` job reads its measured
+        per-layer A/D operation counts from.
+
+        A Fig. 7 power job over the same (workload, calibration params,
+        images, batch size) as a Fig. 6b/6c calibration job shares one
+        stored artifact with it — the search runs once.
+        """
+        return JobSpec(
+            kind="calibration",
+            workload=self.workload,
+            images=self.images,
+            batch_size=self.batch_size,
+            calibration=self.calibration,
+        )
+
     # ------------------------------------------------------------------ #
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -341,11 +596,14 @@ class JobSpec:
             "images": self.images,
             "batch_size": self.batch_size,
             "engine": self.engine,
+            "datapath": self.datapath,
             "noise": None if self.noise is None else self.noise.to_dict(),
             "trials": self.trials,
             "mc_seed": self.mc_seed,
             "confidence": self.confidence,
             "calibration": None if self.calibration is None else self.calibration.to_dict(),
+            "distribution": None if self.distribution is None else self.distribution.to_dict(),
+            "power": None if self.power is None else self.power.to_dict(),
             "label": self.label_dict,
         }
 
@@ -358,6 +616,7 @@ class JobSpec:
             images=int(data.get("images", 32)),
             batch_size=int(data.get("batch_size", 16)),
             engine=data.get("engine", "fast"),
+            datapath=data.get("datapath", "pim"),
             noise=(
                 None if data.get("noise") is None
                 else NoiseScenario.from_dict(data["noise"])
@@ -368,6 +627,14 @@ class JobSpec:
             calibration=(
                 None if data.get("calibration") is None
                 else CalibrationParams.from_dict(data["calibration"])
+            ),
+            distribution=(
+                None if data.get("distribution") is None
+                else DistributionParams.from_dict(data["distribution"])
+            ),
+            power=(
+                None if data.get("power") is None
+                else PowerSpec.from_dict(data["power"])
             ),
             label=data.get("label", ()),
         )
@@ -381,9 +648,15 @@ class SweepSpec:
     """A declarative grid over workloads × ADC configs × noise × MC seeds.
 
     :meth:`expand` enumerates the grid in a fixed nesting order (workload,
-    then ADC, then noise scenario, then Monte Carlo seed / calibration
-    point), so job indices — and therefore the order of the aggregate
-    table's rows — are deterministic regardless of how the jobs execute.
+    then ADC, then noise scenario, then Monte Carlo seed / calibration /
+    distribution / power point), so job indices — and therefore the order
+    of the aggregate table's rows — are deterministic regardless of how the
+    jobs execute.
+
+    Grids are single-kind; sweeps that mix kinds (the figure pipelines,
+    which pair reference evaluations with calibration searches) set
+    ``kind="mixed"`` and list their jobs explicitly via ``explicit_jobs``
+    (usually by concatenating the expansions of per-kind sub-grids).
     """
 
     name: str
@@ -393,25 +666,63 @@ class SweepSpec:
     noises: List[NoiseScenario] = dataclasses.field(default_factory=list)
     mc_seeds: List[int] = dataclasses.field(default_factory=lambda: [0])
     calibrations: List[CalibrationParams] = dataclasses.field(default_factory=list)
+    distributions: List[DistributionParams] = dataclasses.field(default_factory=list)
+    powers: List[PowerSpec] = dataclasses.field(default_factory=list)
     trials: int = 2
     images: int = 32
     batch_size: int = 16
     engine: str = "fast"
     confidence: float = 0.95
+    explicit_jobs: Optional[List[JobSpec]] = None
 
     def __post_init__(self) -> None:
+        if self.kind == "mixed":
+            if self.explicit_jobs is None:
+                raise ValueError('kind="mixed" sweeps need explicit_jobs')
+            return
         if self.kind not in JOB_KINDS:
             raise ValueError(f"unknown sweep kind {self.kind!r} (expected {JOB_KINDS})")
-        if not self.workloads:
+        if not self.workloads and self.explicit_jobs is None:
             raise ValueError("a sweep needs at least one workload")
 
     # ------------------------------------------------------------------ #
     def expand(self) -> List[JobSpec]:
         """The ordered atomic jobs of the grid."""
+        if self.explicit_jobs is not None:
+            return list(self.explicit_jobs)
         jobs: List[JobSpec] = []
         multi_wl = len(self.workloads) > 1
         multi_adc = len(self.adcs) > 1
         multi_seed = len(self.mc_seeds) > 1
+        if self.kind in ("distribution", "power"):
+            # Neither kind consumes the ADC/noise axes.
+            for workload in self.workloads:
+                base_label = {"workload": workload.name}
+                if multi_wl:
+                    base_label["preset"] = workload.preset
+                if self.kind == "distribution":
+                    for params in self.distributions or [DistributionParams()]:
+                        jobs.append(
+                            JobSpec(
+                                kind="distribution", workload=workload,
+                                distribution=params, label=base_label,
+                            )
+                        )
+                else:
+                    for calibration in self.calibrations or [CalibrationParams()]:
+                        for power in self.powers or [PowerSpec()]:
+                            label = dict(base_label)
+                            if len(self.powers) > 1:
+                                label["uniform_bits"] = power.uniform_bits
+                            jobs.append(
+                                JobSpec(
+                                    kind="power", workload=workload,
+                                    images=self.images, batch_size=self.batch_size,
+                                    calibration=calibration, power=power,
+                                    label=label,
+                                )
+                            )
+            return jobs
         for workload in self.workloads:
             for adc in self.adcs:
                 base_label: Dict[str, object] = {"workload": workload.name}
@@ -475,7 +786,7 @@ class SweepSpec:
 
     # ------------------------------------------------------------------ #
     def to_dict(self) -> Dict[str, object]:
-        return {
+        data = {
             "name": self.name,
             "kind": self.kind,
             "workloads": [w.to_dict() for w in self.workloads],
@@ -483,15 +794,21 @@ class SweepSpec:
             "noises": [n.to_dict() for n in self.noises],
             "mc_seeds": list(self.mc_seeds),
             "calibrations": [c.to_dict() for c in self.calibrations],
+            "distributions": [d.to_dict() for d in self.distributions],
+            "powers": [p.to_dict() for p in self.powers],
             "trials": self.trials,
             "images": self.images,
             "batch_size": self.batch_size,
             "engine": self.engine,
             "confidence": self.confidence,
         }
+        if self.explicit_jobs is not None:
+            data["explicit_jobs"] = [j.to_dict() for j in self.explicit_jobs]
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "SweepSpec":
+        explicit = data.get("explicit_jobs")
         return cls(
             name=data["name"],
             kind=data.get("kind", "monte_carlo"),
@@ -502,11 +819,19 @@ class SweepSpec:
             calibrations=[
                 CalibrationParams.from_dict(c) for c in data.get("calibrations", [])
             ],
+            distributions=[
+                DistributionParams.from_dict(d) for d in data.get("distributions", [])
+            ],
+            powers=[PowerSpec.from_dict(p) for p in data.get("powers", [])],
             trials=int(data.get("trials", 2)),
             images=int(data.get("images", 32)),
             batch_size=int(data.get("batch_size", 16)),
             engine=data.get("engine", "fast"),
             confidence=float(data.get("confidence", 0.95)),
+            explicit_jobs=(
+                None if explicit is None
+                else [JobSpec.from_dict(j) for j in explicit]
+            ),
         )
 
 
@@ -544,6 +869,7 @@ def _adc_label(adc: AdcSpec) -> str:
     if adc.mode == "ideal":
         return "ideal"
     if adc.mode == "uniform":
-        bits = adc.uniform_bits if adc.uniform_bits is not None else adc.resolution
-        return f"uniform{bits}"
+        return f"uniform{adc.resolved_uniform_bits}"
+    if adc.mode == "uniform_calibrated":
+        return f"ucal{adc.resolved_uniform_bits}"
     return f"trq{adc.n_r1}-{adc.n_r2}-m{adc.m}b{adc.bias}"

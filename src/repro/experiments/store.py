@@ -1,26 +1,45 @@
-"""Content-addressed result store.
+"""Content-addressed result store (and its failure log).
 
-Every atomic job's address is the SHA-256 of its canonical resolved spec
-(:meth:`repro.experiments.spec.JobSpec.resolved`) plus the *code-version
-salt*.  The salt bumps whenever the semantics of stored results change —
-a new package version, a result-schema revision — so stale artifacts are
+**What addresses a result.**  Every atomic job's address is the SHA-256 of
+its canonical resolved spec (:meth:`repro.experiments.spec.JobSpec.resolved`)
+plus the *code-version salt*.  A stored result is therefore invalidated —
+i.e. a fresh address is computed and the old artifact is simply never
+looked up again — by editing **any input the job kind consumes**: the
+workload fingerprint (model preset structure, dataset shape, training
+budget, seed), the evaluation size/batching, the ADC configuration
+(including a ``uniform_calibrated`` spec's capture parameters), the noise
+scenario models/seed, trial counts, calibration knobs, distribution capture
+parameters, resolved power-model constants — or the salt itself.  What can
+*never* invalidate a result: labels and other reporting metadata, or fields
+the kind does not consume (a calibration job's engine, a uniform spec's TRQ
+knobs).  The salt bumps whenever the semantics of stored results change — a
+new package version, a result-schema revision — so stale artifacts are
 never served across incompatible code; CI keys its ``actions/cache`` of the
 store on the same salt.
 
 Artifacts are a JSON document (``<key>.json``: the job spec, the salt, and
 the aggregate row) plus an optional NPZ sibling (``<key>.npz``) for exact
-float arrays — the clean reference's logits travel this way so a restored
-:class:`~repro.sim.stats.SimulationResult` is bit-identical to the original.
+float arrays — the clean reference's logits and the Fig. 3 bit-line samples
+travel this way so restored objects are bit-identical to the originals.
 Writes are atomic (temp file + ``os.replace``), so a sweep killed mid-write
 never leaves a truncated artifact for ``--resume`` to trip over.
+
+**Failures.**  A job that raises leaves *no* artifact (the store only ever
+sees completed results); instead the runner records the exception and its
+traceback in a :class:`FailureLog` persisted next to the artifacts
+(``<store>/failures/<key>.json``).  ``python -m repro.experiments show``
+surfaces logged failures, and a later successful run of the same key clears
+its entry.
 """
 
 from __future__ import annotations
 
+import datetime
 import json
 import os
+import traceback as traceback_module
 from pathlib import Path
-from typing import Dict, Iterator, Optional, Union
+from typing import Dict, Iterator, List, Optional, Union
 
 import numpy as np
 
@@ -29,7 +48,9 @@ from repro.experiments.spec import JobSpec
 from repro.utils.config import stable_digest
 
 #: Bump when the stored result schema (payload layout, row fields) changes.
-RESULT_SCHEMA_VERSION = 1
+#: v2: figure-pipeline kinds (distribution/power, datapaths, calibrated
+#: uniform ADCs) and per-layer data in calibration payloads.
+RESULT_SCHEMA_VERSION = 2
 
 
 def code_version_salt() -> str:
@@ -119,3 +140,77 @@ class ResultStore:
         finally:
             if tmp.exists():  # writer raised before the replace
                 tmp.unlink()
+
+
+class FailureLog:
+    """Per-job failure records persisted next to a store's artifacts.
+
+    One JSON file per failed job key under ``<store>/failures/``, holding
+    the job spec, the error and its full traceback.  Entries are written
+    atomically (a crash while logging a crash never corrupts the log) and
+    cleared when the same key later completes successfully, so the log
+    always reflects the *current* set of unresolved failures.
+    """
+
+    def __init__(self, store: Union[ResultStore, str, Path]) -> None:
+        root = store.root if isinstance(store, ResultStore) else Path(store)
+        self.root = root / "failures"
+
+    def path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def has(self, key: str) -> bool:
+        return self.path(key).exists()
+
+    def keys(self) -> Iterator[str]:
+        if not self.root.exists():
+            return iter(())
+        return iter(sorted(path.stem for path in self.root.glob("*.json")))
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    # ------------------------------------------------------------------ #
+    def record(
+        self,
+        key: str,
+        job: JobSpec,
+        error: BaseException,
+        index: Optional[int] = None,
+    ) -> Dict[str, object]:
+        """Persist one failure; returns the logged entry."""
+        entry = {
+            "key": key,
+            "index": index,
+            "kind": job.kind,
+            "label": job.label_dict,
+            "spec": job.to_dict(),
+            "error": f"{type(error).__name__}: {error}",
+            "traceback": "".join(
+                traceback_module.format_exception(type(error), error, error.__traceback__)
+            ),
+            "logged_at": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        }
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path(key)
+        text = json.dumps(entry, indent=2, sort_keys=True)
+        tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
+        try:
+            tmp.write_text(text)
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():
+                tmp.unlink()
+        return entry
+
+    def load(self, key: str) -> Dict[str, object]:
+        return json.loads(self.path(key).read_text())
+
+    def load_all(self) -> List[Dict[str, object]]:
+        return [self.load(key) for key in self.keys()]
+
+    def clear(self, key: str) -> None:
+        try:
+            self.path(key).unlink()
+        except FileNotFoundError:
+            pass

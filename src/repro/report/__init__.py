@@ -3,9 +3,18 @@
 from repro.report.experiments import ExperimentRecord, summarize_records
 from repro.report.figures import (
     fig3a_distribution_record,
+    fig3a_records_from_run,
     fig6_accuracy_record,
+    fig6a_record_from_run,
+    fig6b_record_from_run,
     fig6c_ops_record,
+    fig6c_record_from_run,
     fig7_power_record,
+    fig7_record_from_run,
+    figure_records_from_run,
+    record_to_csv,
+    record_to_markdown,
+    render_figure_outputs,
 )
 from repro.report.tables import (
     ascii_bar_chart,
@@ -19,9 +28,18 @@ __all__ = [
     "ExperimentRecord",
     "ascii_bar_chart",
     "fig3a_distribution_record",
+    "fig3a_records_from_run",
     "fig6_accuracy_record",
+    "fig6a_record_from_run",
+    "fig6b_record_from_run",
     "fig6c_ops_record",
+    "fig6c_record_from_run",
     "fig7_power_record",
+    "fig7_record_from_run",
+    "figure_records_from_run",
+    "record_to_csv",
+    "record_to_markdown",
+    "render_figure_outputs",
     "format_cell",
     "format_series",
     "format_table",

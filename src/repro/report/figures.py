@@ -1,19 +1,35 @@
 """Builders that assemble the paper's figures as experiment records.
 
 These helpers contain the *reporting* logic shared between the benchmark
-harness and the examples: given simulator/calibration outputs they produce
-the rows of each figure.  The heavy lifting (training, simulation, search)
-stays in the caller so benchmarks can control workload sizes.
+harness, the experiments CLI and CI: given simulator/calibration outputs —
+or, since the figure pipeline moved onto the experiment store, a
+:class:`~repro.experiments.runner.SweepRun` plus the store its jobs wrote —
+they produce the rows of each figure.  The heavy lifting (training,
+simulation, search) stays in the runner so figure sweeps cache, resume and
+parallelise like any other experiment.
+
+Two layers of API:
+
+* ``fig*_record(...)`` — pure row builders from in-memory data (the
+  original seed interface, still used directly by tests).
+* ``fig*_record_from_run(run, store)`` / :func:`render_figure_outputs` —
+  the store-backed path: rebuild each figure's record from a figure
+  preset's stored rows/arrays and emit the paper-style JSON + markdown +
+  CSV tables.  This is the one code path shared by the ``bench_fig*.py``
+  shims, ``python -m repro.experiments run --preset fig*`` and CI.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence
+import csv
+import io
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.report.experiments import ExperimentRecord
-from repro.report.tables import histogram_rows
+from repro.report.tables import format_cell, histogram_rows, union_columns
 
 
 def fig3a_distribution_record(
@@ -113,3 +129,238 @@ def fig7_power_record(rows: Sequence[Dict[str, object]]) -> ExperimentRecord:
     for row in rows:
         record.add_row(**row)
     return record
+
+
+# --------------------------------------------------------------------- #
+# Store-backed figure reports: rebuild each figure from a figure preset's
+# SweepRun + ResultStore (the post-port pipeline).
+# --------------------------------------------------------------------- #
+def _stored(run, store):
+    """(job, key, payload) for every job of the run with a stored artifact,
+    in grid order (tolerated failures simply contribute nothing)."""
+    for job, key in zip(run.sweep.expand(), run.keys):
+        if store.has(key):
+            yield job, key, store.load(key)
+
+
+def _workload_series(
+    run, store, include
+) -> Dict[str, Dict[str, float]]:
+    """Per-workload ``{config label: accuracy}`` series in grid order."""
+    series: Dict[str, Dict[str, float]] = {}
+    for job, _key, payload in _stored(run, store):
+        label = job.label_dict
+        config = label.get("config")
+        if config is None or not include(job, config):
+            continue
+        series.setdefault(label["workload"], {})[config] = payload["row"]["accuracy"]
+    return series
+
+
+def _eval_images(run) -> Optional[int]:
+    counts = {job.images for job in run.sweep.expand() if job.kind != "distribution"}
+    return sorted(counts)[0] if counts else None
+
+
+def fig3a_records_from_run(run, store) -> Dict[str, ExperimentRecord]:
+    """Per-workload Fig. 3a records rebuilt from stored bit-line samples."""
+    records: Dict[str, ExperimentRecord] = {}
+    for job, key, _payload in _stored(run, store):
+        if job.kind != "distribution":
+            continue
+        samples = store.load_arrays(key)
+        record = fig3a_distribution_record(samples, num_bins=16)
+        record.metadata.update(
+            {"workload": job.workload.name,
+             "calibration_images": job.distribution.images}
+        )
+        records[job.workload.name] = record
+    return records
+
+
+def fig6a_record_from_run(run, store) -> ExperimentRecord:
+    """Fig. 6a from stored reference + calibrated-uniform evaluation rows."""
+    def include(job, config):
+        return job.kind == "evaluate" and (
+            job.datapath in ("float", "fakequant") or config.isdigit()
+        )
+
+    raw = _workload_series(run, store, include)
+    accuracy_by_config: Dict[str, Dict[str, float]] = {}
+    for workload, series in raw.items():
+        bits = sorted((int(c) for c in series if c.isdigit()), reverse=True)
+        ordered: Dict[str, float] = {}
+        for config in ("f/f", "8/f", *map(str, bits)):
+            if config in series:
+                ordered[config] = series[config]
+        accuracy_by_config[workload] = ordered
+    record = fig6_accuracy_record(
+        "fig6a",
+        "Accuracy vs ADC resolution, uniform ADC (no TRQ)",
+        "Uniform quantization needs >= 7 bits to preserve accuracy (Fig. 6a)",
+        accuracy_by_config,
+    )
+    if (images := _eval_images(run)) is not None:
+        record.metadata["eval_images"] = images
+    return record
+
+
+def fig6b_record_from_run(run, store) -> ExperimentRecord:
+    """Fig. 6b from stored TRQ calibration rows (+ the uniform 4-bit point)."""
+    accuracy_by_config: Dict[str, Dict[str, float]] = {}
+    ops_by_config: Dict[str, Dict[str, float]] = {}
+    uniform_4bit: Dict[str, float] = {}
+    for job, _key, payload in _stored(run, store):
+        config = job.label_dict.get("config", "")
+        workload = job.workload.name
+        row = payload["row"]
+        if job.kind == "evaluate" and config == "4":
+            uniform_4bit[workload] = row["accuracy"]
+        elif job.kind == "calibration" and config.startswith("trq"):
+            bits = config[len("trq"):]
+            series = accuracy_by_config.setdefault(workload, {})
+            series[bits] = row["accuracy"]
+            if "ideal" not in series:
+                series["ideal"] = row["baseline_accuracy"]
+            ops_by_config.setdefault(workload, {})[bits] = row["remaining_ops_fraction"]
+    record = fig6_accuracy_record(
+        "fig6b",
+        "Accuracy vs ADC resolution with TRQ",
+        "TRQ at 4-bit sensing matches uniform conversion at 7-8 bits (Fig. 6b)",
+        accuracy_by_config,
+    )
+    record.metadata["remaining_ops_fraction"] = ops_by_config
+    record.metadata["uniform_4bit_accuracy"] = uniform_4bit
+    if (images := _eval_images(run)) is not None:
+        record.metadata["eval_images"] = images
+    return record
+
+
+def fig6c_record_from_run(run, store) -> ExperimentRecord:
+    """Fig. 6c from the stored 4-bit TRQ calibration artifacts.
+
+    Byte-identical to the pre-port benchmark's record: same row builder
+    (:func:`fig6c_ops_record`), same per-layer metadata, values read back
+    from the store's exact-round-trip JSON.
+    """
+    remaining: Dict[str, float] = {}
+    per_layer: Dict[str, Dict[str, float]] = {}
+    accuracy: Dict[str, Dict[str, float]] = {}
+    for job, _key, payload in _stored(run, store):
+        if job.kind != "calibration" or job.calibration.initial_n_max != 4:
+            continue
+        workload = job.workload.name
+        row = payload["row"]
+        remaining[workload] = row["remaining_ops_fraction"]
+        per_layer[workload] = dict(payload["per_layer_remaining_fraction"])
+        accuracy[workload] = {"ideal": row["baseline_accuracy"], "trq": row["accuracy"]}
+    record = fig6c_ops_record(remaining, per_layer=per_layer)
+    record.metadata["accuracy_ideal_vs_trq"] = accuracy
+    if (images := _eval_images(run)) is not None:
+        record.metadata["eval_images"] = images
+    return record
+
+
+def fig7_record_from_run(run, store) -> ExperimentRecord:
+    """Fig. 7 from the stored power-breakdown artifacts."""
+    rows: List[Dict[str, object]] = []
+    adc_reduction: Dict[str, float] = {}
+    for job, _key, payload in _stored(run, store):
+        if job.kind != "power":
+            continue
+        rows.extend(payload["breakdown_rows"])
+        adc_reduction[job.workload.name] = payload["row"]["adc_reduction_vs_isaac"]
+    record = fig7_power_record(rows)
+    record.metadata["adc_reduction_vs_isaac"] = adc_reduction
+    return record
+
+
+# --------------------------------------------------------------------- #
+# Markdown / CSV emitters and the one-stop renderer
+# --------------------------------------------------------------------- #
+def record_to_markdown(record: ExperimentRecord) -> str:
+    """A GitHub-flavoured markdown rendering of one experiment record."""
+    lines = [
+        f"# {record.experiment_id}: {record.description}",
+        "",
+        f"> paper: {record.paper_reference}",
+        "",
+    ]
+    if record.rows:
+        columns = union_columns(record.rows)
+        lines.append("| " + " | ".join(columns) + " |")
+        lines.append("|" + "|".join(" --- " for _ in columns) + "|")
+        for row in record.rows:
+            lines.append(
+                "| "
+                + " | ".join(format_cell(row.get(c, "")) for c in columns)
+                + " |"
+            )
+    else:
+        lines.append("_(no rows)_")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def record_to_csv(record: ExperimentRecord) -> str:
+    """A CSV rendering of one experiment record's rows."""
+    columns = union_columns(record.rows)
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=columns, lineterminator="\n")
+    writer.writeheader()
+    for row in record.rows:
+        writer.writerow({c: row.get(c, "") for c in columns})
+    return buffer.getvalue()
+
+
+def figure_records_from_run(
+    experiment_id: str, run, store
+) -> Dict[str, ExperimentRecord]:
+    """Every figure record a preset's run can rebuild, keyed by output stem.
+
+    ``fig6`` yields all three of its sub-figures; ``fig3`` yields one
+    record per workload (``fig3a_<workload>``).
+    """
+    records: Dict[str, ExperimentRecord] = {}
+    if experiment_id == "fig3":
+        for workload, record in fig3a_records_from_run(run, store).items():
+            records[f"fig3a_{workload}"] = record
+    if experiment_id in ("fig6", "fig6a"):
+        records["fig6a"] = fig6a_record_from_run(run, store)
+    if experiment_id in ("fig6", "fig6b"):
+        records["fig6b"] = fig6b_record_from_run(run, store)
+    if experiment_id in ("fig6", "fig6c"):
+        records["fig6c"] = fig6c_record_from_run(run, store)
+    if experiment_id == "fig7":
+        records["fig7"] = fig7_record_from_run(run, store)
+    return records
+
+
+def render_figure_outputs(
+    experiment_id: str,
+    run,
+    store,
+    out_dir: Union[str, Path],
+    formats: Sequence[str] = ("json", "md", "csv"),
+) -> List[Path]:
+    """Write each figure record as JSON + markdown + CSV tables.
+
+    The shared reporting path of the ``bench_fig*.py`` shims, the CLI
+    (``run --preset fig*``) and CI; returns the written paths.  Unknown
+    experiment ids write nothing.
+    """
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    written: List[Path] = []
+    for stem, record in figure_records_from_run(experiment_id, run, store).items():
+        if "json" in formats:
+            written.append(record.save(out_dir / f"{stem}.json"))
+        if "md" in formats:
+            path = out_dir / f"{stem}.md"
+            path.write_text(record_to_markdown(record))
+            written.append(path)
+        if "csv" in formats:
+            path = out_dir / f"{stem}.csv"
+            path.write_text(record_to_csv(record))
+            written.append(path)
+    return written

@@ -24,6 +24,12 @@ def format_cell(value: Cell, precision: int = 4) -> str:
     return str(value)
 
 
+def union_columns(rows: Sequence[Mapping[str, Cell]]) -> List[str]:
+    """The union of the rows' keys in first-appearance order — the shared
+    column policy of the ASCII, markdown and CSV renderings."""
+    return list(dict.fromkeys(key for row in rows for key in row))
+
+
 def format_table(
     rows: Sequence[Mapping[str, Cell]],
     columns: Optional[Sequence[str]] = None,
@@ -39,7 +45,7 @@ def format_table(
     if not rows:
         return "(empty table)"
     if columns is None:
-        columns = list(dict.fromkeys(key for row in rows for key in row))
+        columns = union_columns(rows)
     rendered = [
         [format_cell(row.get(col, ""), precision) for col in columns] for row in rows
     ]

@@ -1,0 +1,58 @@
+"""Docs link check: every relative link in README.md and docs/ resolves.
+
+Scans markdown links ``[text](target)`` (skipping http/https/mailto and
+pure in-page anchors) and asserts the target file or directory exists
+relative to the linking document.  Keeps the docs suite from silently
+rotting as files move.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+CODE_FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def markdown_documents():
+    docs = [REPO_ROOT / "README.md"]
+    docs_dir = REPO_ROOT / "docs"
+    if docs_dir.is_dir():
+        docs += sorted(docs_dir.glob("*.md"))
+    return docs
+
+
+def relative_links(path: Path):
+    text = CODE_FENCE.sub("", path.read_text())
+    for match in LINK_PATTERN.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        target = target.split("#", 1)[0]
+        if not target:  # pure in-page anchor
+            continue
+        yield target
+
+
+@pytest.mark.parametrize(
+    "document", markdown_documents(), ids=lambda p: str(p.relative_to(REPO_ROOT))
+)
+def test_relative_links_resolve(document):
+    missing = [
+        target for target in relative_links(document)
+        if not (document.parent / target).exists()
+    ]
+    assert not missing, (
+        f"{document.relative_to(REPO_ROOT)} links to missing paths: {missing}"
+    )
+
+
+def test_docs_suite_exists():
+    """The documentation suite this PR introduced stays present."""
+    for name in ("architecture.md", "experiments.md", "reproducing-figures.md"):
+        assert (REPO_ROOT / "docs" / name).is_file(), f"docs/{name} missing"

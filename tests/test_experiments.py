@@ -19,9 +19,14 @@ import pytest
 
 from repro.experiments import (
     AdcSpec,
+    CalibrationParams,
+    DistributionParams,
     ExperimentSpec,
+    FailureLog,
     JobSpec,
+    MaxFailuresExceeded,
     NoiseScenario,
+    PowerSpec,
     ResultStore,
     SweepSpec,
     WorkloadSpec,
@@ -326,6 +331,190 @@ class TestRunner:
 def reference_run_store_root(reference_run) -> str:
     """The store directory the shared reference run executed against."""
     return reference_run._store_root  # attached by the fixture
+
+
+# --------------------------------------------------------------------- #
+# Figure-pipeline job kinds: hashing and sibling sharing
+# --------------------------------------------------------------------- #
+class TestFigureJobKinds:
+    def test_new_kinds_hash_on_their_own_axes(self):
+        dist = JobSpec(kind="distribution", workload=TINY)
+        assert job_key(dist) != job_key(
+            dataclasses.replace(dist, distribution=DistributionParams(images=8))
+        )
+        assert job_key(dist) != job_key(
+            dataclasses.replace(
+                dist, distribution=DistributionParams(capacity_per_layer=1000)
+            )
+        )
+        power = JobSpec(kind="power", workload=TINY, calibration=CalibrationParams())
+        assert job_key(power) != job_key(
+            dataclasses.replace(power, power=PowerSpec(uniform_bits=8))
+        )
+        assert job_key(power) != job_key(
+            dataclasses.replace(power, power=PowerSpec(constants={"e_adc_op": 1e-12}))
+        )
+        assert job_key(power) != job_key(
+            dataclasses.replace(
+                power, calibration=CalibrationParams(initial_n_max=8)
+            )
+        )
+
+    def test_reference_datapaths_ignore_unconsumed_fields(self):
+        """float/fakequant references are forward passes: no ADC, engine or
+        batching in their address."""
+        base = JobSpec(kind="evaluate", workload=TINY, datapath="float", images=4)
+        assert job_key(base) == job_key(dataclasses.replace(base, adc=AdcSpec(n_r1=3)))
+        assert job_key(base) == job_key(dataclasses.replace(base, engine="reference"))
+        assert job_key(base) == job_key(dataclasses.replace(base, batch_size=99))
+        assert job_key(base) != job_key(dataclasses.replace(base, images=5))
+        assert job_key(base) != job_key(dataclasses.replace(base, datapath="fakequant"))
+
+    def test_calibrated_uniform_bits_share_one_distribution_job(self):
+        jobs = [
+            JobSpec(
+                kind="evaluate", workload=TINY, images=4,
+                adc=AdcSpec(mode="uniform_calibrated", uniform_bits=bits, calib_images=8),
+            )
+            for bits in (8, 7, 6, 5, 4)
+        ]
+        assert len({job_key(j) for j in jobs}) == len(jobs)
+        assert len({job_key(j.distribution_job()) for j in jobs}) == 1
+        # ... but a different capture is a different artifact.
+        other = dataclasses.replace(
+            jobs[0], adc=dataclasses.replace(jobs[0].adc, calib_images=4)
+        )
+        assert job_key(other.distribution_job()) != job_key(jobs[0].distribution_job())
+
+    def test_monte_carlo_with_calibrated_adc_executes(self, weights_cache, tmp_path):
+        """An MC job over a uniform_calibrated ADC resolves its configs from
+        the shared distribution artifact (it must not hit the
+        samples-required ValueError of AdcSpec.build_config)."""
+        job = JobSpec(
+            kind="monte_carlo", workload=TINY, images=4, batch_size=4,
+            adc=AdcSpec(mode="uniform_calibrated", uniform_bits=4, calib_images=8),
+            noise=NoiseScenario(
+                models=[{"model": "gaussian_read_noise", "sigma": 0.5}],
+            ),
+            trials=1,
+        )
+        store = ResultStore(tmp_path / "store")
+        execute_job(job, store, weights_cache)
+        assert store.has(job_key(job))
+        assert store.has(job_key(job.clean_job()))
+        assert store.has(job_key(job.distribution_job()))
+
+    def test_power_jobs_share_the_figure_calibration_sibling(self):
+        from repro.experiments.presets import fig6c, fig7
+
+        workloads = [TINY]
+        cal_jobs = fig6c(workloads=workloads, images=4).sweep.expand()
+        power_jobs = fig7(workloads=workloads, images=4).sweep.expand()
+        assert job_key(power_jobs[0].calibration_job()) == job_key(cal_jobs[0])
+
+    def test_workload_source_calibration_ignores_resample_seed(self):
+        base = JobSpec(
+            kind="calibration", workload=TINY,
+            calibration=CalibrationParams(source="workload"),
+        )
+        reseeded = dataclasses.replace(
+            base, calibration=dataclasses.replace(base.calibration, calib_seed=7)
+        )
+        assert job_key(base) == job_key(reseeded)
+        resampled = dataclasses.replace(
+            base, calibration=dataclasses.replace(base.calibration, source="resampled")
+        )
+        assert job_key(base) != job_key(resampled)
+
+    def test_mixed_sweeps_roundtrip_and_validate(self):
+        from repro.experiments.presets import fig6
+
+        sweep = fig6(workloads=[TINY], images=4).sweep
+        clone = SweepSpec.from_dict(json.loads(json.dumps(sweep.to_dict())))
+        assert [job_key(j) for j in clone.expand()] == \
+               [job_key(j) for j in sweep.expand()]
+        with pytest.raises(ValueError, match="explicit_jobs"):
+            SweepSpec(name="x", kind="mixed")
+        with pytest.raises(ValueError, match="calibration params"):
+            JobSpec(kind="power", workload=TINY)
+
+
+# --------------------------------------------------------------------- #
+# Failure policy: logging, tolerance, healing
+# --------------------------------------------------------------------- #
+def reference_sweep(name: str = "failure-sweep") -> SweepSpec:
+    """Cheap evaluate-only sweep (float/fakequant forward passes)."""
+    jobs = [
+        JobSpec(kind="evaluate", workload=TINY, images=4, datapath=datapath,
+                label={"config": config})
+        for datapath, config in (("float", "f/f"), ("fakequant", "8/f"))
+    ]
+    return SweepSpec(name=name, kind="mixed", explicit_jobs=jobs)
+
+
+class TestFailurePolicy:
+    def test_default_policy_logs_and_reraises(self, weights_cache, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        sweep = reference_sweep()
+        with pytest.raises(RuntimeError, match="injected failure"):
+            run_sweep(sweep, store, weights_cache_dir=weights_cache,
+                      inject_failures={0})
+        log = FailureLog(store)
+        keys = list(log.keys())
+        assert keys == [job_key(sweep.expand()[0])]
+        entry = log.load(keys[0])
+        assert "RuntimeError" in entry["error"]
+        assert "Traceback" in entry["traceback"]
+        assert entry["index"] == 0 and entry["kind"] == "evaluate"
+        # The failed job left no artifact, partial or otherwise.
+        assert not store.has(keys[0])
+        leftovers = [p for p in store.root.iterdir() if p.name.startswith(".")]
+        assert leftovers == []
+
+    def test_tolerated_failure_skips_row_and_heals_on_rerun(
+        self, weights_cache, tmp_path
+    ):
+        store = ResultStore(tmp_path / "store")
+        sweep = reference_sweep()
+        run = run_sweep(sweep, store, weights_cache_dir=weights_cache,
+                        inject_failures={0}, max_failures=1)
+        assert run.stats.failed == 1 and run.stats.computed == 1
+        assert [row["config"] for row in run.rows] == ["8/f"]
+        assert len(run.failures) == 1
+        assert run.record.metadata["failures"][0]["index"] == 0
+        log = FailureLog(store)
+        assert len(log) == 1
+        # Rerunning without injection retries the failed job, clears its log
+        # entry, and converges to the clean run's record byte for byte.
+        healed = run_sweep(sweep, store, weights_cache_dir=weights_cache)
+        assert healed.stats.failed == 0
+        assert [row["config"] for row in healed.rows] == ["f/f", "8/f"]
+        assert len(log) == 0
+        clean = run_sweep(
+            reference_sweep(), ResultStore(tmp_path / "clean"),
+            weights_cache_dir=weights_cache,
+        )
+        assert record_bytes(healed) == record_bytes(clean)
+
+    def test_exceeding_max_failures_raises(self, weights_cache, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        with pytest.raises(MaxFailuresExceeded, match="max_failures=0"):
+            run_sweep(reference_sweep(), store, weights_cache_dir=weights_cache,
+                      inject_failures={0, 1}, max_failures=0)
+        assert len(FailureLog(store)) == 1  # aborted on the first failure
+
+    def test_parallel_failures_follow_the_same_policy(
+        self, weights_cache, tmp_path
+    ):
+        store = ResultStore(tmp_path / "store")
+        run = run_sweep(reference_sweep(), store, jobs=2,
+                        weights_cache_dir=weights_cache,
+                        inject_failures={1}, max_failures=2)
+        assert run.stats.failed == 1 and run.stats.computed == 1
+        assert [row["config"] for row in run.rows] == ["f/f"]
+        assert list(FailureLog(store).keys()) == [
+            job_key(reference_sweep().expand()[1])
+        ]
 
 
 # --------------------------------------------------------------------- #
