@@ -28,6 +28,7 @@ BENCH_DIR = Path(__file__).resolve().parent
 sys.path.insert(0, str(BENCH_DIR.parent / "src"))
 
 from repro.experiments import ResultStore, run_sweep  # noqa: E402
+from repro.experiments.executors import EXECUTOR_NAMES  # noqa: E402
 from repro.experiments.presets import FIGURE_WORKLOAD_NAMES  # noqa: E402
 from repro.report.figures import render_figure_outputs  # noqa: E402
 
@@ -57,8 +58,16 @@ def build_arg_parser(description: str) -> argparse.ArgumentParser:
                         help="tiny sweep + training budget for CI (seconds)")
     parser.add_argument("--jobs", type=int, default=1,
                         help="parallel worker processes (default: serial)")
+    parser.add_argument("--executor", choices=EXECUTOR_NAMES, default=None,
+                        help="execution strategy (default: process pool iff "
+                             "--jobs > 1)")
+    parser.add_argument("--shards", type=int, default=2, metavar="N",
+                        help="shard count of --executor sharded (default 2)")
     parser.add_argument("--force", action="store_true",
                         help="recompute jobs already in the store")
+    parser.add_argument("--ascii", action="store_true",
+                        help="also render the figure tables as ASCII bar "
+                             "charts (<figure>.txt)")
     parser.add_argument("--max-failures", type=int, default=None, metavar="N",
                         help="tolerate up to N failed jobs (logged to the "
                              "store's failure log)")
@@ -87,11 +96,17 @@ def run_figure(experiment, args) -> "SweepRun":  # noqa: F821 - doc type
         experiment=experiment,
         progress=print,
         max_failures=args.max_failures,
+        executor=getattr(args, "executor", None),
+        shards=getattr(args, "shards", 2),
     )
     print()
     print(run.record.to_table())
 
-    written = render_figure_outputs(experiment.experiment_id, run, store, args.out_dir)
+    formats = ("json", "md", "csv", "ascii") if getattr(args, "ascii", False) \
+        else ("json", "md", "csv")
+    written = render_figure_outputs(
+        experiment.experiment_id, run, store, args.out_dir, formats=formats
+    )
     for path in written:
         print(f"  wrote {path}")
 

@@ -17,15 +17,38 @@ Quickstart::
     print(run.record.to_table())
 """
 
+from repro.experiments.executors import (
+    ExecutionContext,
+    Executor,
+    ProcessPoolExecutor,
+    SerialExecutor,
+    ShardJobFailed,
+    ShardedExecutor,
+    load_shard_manifest,
+    manifest_result_path,
+    plan_shards,
+    resolve_executor,
+    run_shard_manifest,
+    write_shard_manifests,
+)
 from repro.experiments.presets import available_presets, build_preset
 from repro.experiments.runner import (
     MaxFailuresExceeded,
     SweepRun,
     SweepRunStats,
+    aggregate_sweep,
     clear_runner_memos,
+    execute_graph,
     execute_job,
     prewarm_workloads,
     run_sweep,
+)
+from repro.experiments.scheduler import (
+    JobGraph,
+    ScheduledJob,
+    UpstreamFailed,
+    build_job_graph,
+    expanded_artifacts,
 )
 from repro.experiments.spec import (
     AdcSpec,
@@ -49,23 +72,42 @@ __all__ = [
     "AdcSpec",
     "CalibrationParams",
     "DistributionParams",
+    "ExecutionContext",
+    "Executor",
     "ExperimentSpec",
     "FailureLog",
+    "JobGraph",
     "JobSpec",
     "MaxFailuresExceeded",
     "NoiseScenario",
     "PowerSpec",
+    "ProcessPoolExecutor",
     "ResultStore",
+    "ScheduledJob",
+    "SerialExecutor",
+    "ShardJobFailed",
+    "ShardedExecutor",
     "SweepRun",
     "SweepRunStats",
     "SweepSpec",
+    "UpstreamFailed",
     "WorkloadSpec",
+    "aggregate_sweep",
     "available_presets",
+    "build_job_graph",
     "build_preset",
     "clear_runner_memos",
     "code_version_salt",
+    "execute_graph",
     "execute_job",
+    "expanded_artifacts",
     "job_key",
+    "load_shard_manifest",
+    "manifest_result_path",
+    "plan_shards",
     "prewarm_workloads",
+    "resolve_executor",
+    "run_shard_manifest",
     "run_sweep",
+    "write_shard_manifests",
 ]

@@ -6,7 +6,14 @@
     python -m repro.experiments show robustness-noise --smoke
     python -m repro.experiments run robustness-noise --smoke --jobs 2
     python -m repro.experiments run --preset fig6 --smoke --max-failures 1
+    python -m repro.experiments run --preset fig6 --executor sharded --shards 4
     python -m repro.experiments run path/to/sweep.json --force
+
+    # Multi-machine sharding: partition once, run anywhere, merge at the end.
+    python -m repro.experiments shard emit --preset fig6 --shards 2 --dir shards/
+    python -m repro.experiments shard run shards/fig6-shard0of2.json
+    python -m repro.experiments shard run shards/fig6-shard1of2.json
+    python -m repro.experiments shard merge shards/ --out fig6_sweep.json
 
 ``run``/``show`` accept either a built-in preset name (``list`` shows them;
 the ``--preset`` flag is an explicit spelling of the same thing) or a path
@@ -17,27 +24,49 @@ crash, CI timeout) therefore resumes where it left off — ``--resume`` is the
 default and spelled out only for scripts that want to be explicit.  Use
 ``--force`` to discard the sweep's cached artifacts and recompute.
 
+``--executor`` selects how pending jobs run: ``serial`` (in-process),
+``process`` (a worker pool of ``--jobs`` processes) or ``sharded``
+(``--shards`` independent subprocesses per scheduler wave, driving the same
+manifests as the ``shard`` subcommand).  Omitted, it keeps the historical
+default: a process pool iff ``--jobs`` > 1.
+
 Failures: a job that raises is recorded (spec + traceback) in the store's
-failure log and surfaced by ``show``; ``--max-failures N`` lets a sweep
-tolerate up to ``N`` failed jobs instead of aborting on the first one.
-Rerunning the sweep retries failed jobs and clears healed log entries.
+failure log and surfaced by ``show`` together with each entry's age;
+``--max-failures N`` lets a sweep tolerate up to ``N`` failed jobs instead
+of aborting on the first one (a failed job's dependents are marked
+failed-with-cause and the whole subtree counts once).  Rerunning the sweep
+retries failed jobs and clears healed log entries; ``show
+--expire-failures SECONDS`` drops entries older than the given age.
 
 ``run`` on a ``fig*`` preset additionally renders the paper-style figure
-tables (JSON + markdown + CSV) from the stored rows — the same reporting
-path the ``benchmarks/bench_fig*.py`` shims use.
+tables (JSON + markdown + CSV, plus ASCII bar charts with ``--ascii``) from
+the stored rows — the same reporting path the ``bench_fig*.py`` shims use.
 """
 
 from __future__ import annotations
 
 import argparse
+import hashlib
 import json
 import sys
 from pathlib import Path
-from typing import Optional
+from typing import List, Optional
 
+from repro.experiments.executors import (
+    EXECUTOR_NAMES,
+    load_shard_manifest,
+    manifest_result_path,
+    run_shard_manifest,
+    write_shard_manifests,
+)
 from repro.experiments.presets import FIGURE_PRESETS, available_presets, build_preset
-from repro.experiments.runner import MaxFailuresExceeded, run_sweep
-from repro.experiments.spec import ExperimentSpec
+from repro.experiments.runner import (
+    MaxFailuresExceeded,
+    aggregate_sweep,
+    run_sweep,
+)
+from repro.experiments.scheduler import expanded_artifacts
+from repro.experiments.spec import ExperimentSpec, SweepSpec
 from repro.experiments.store import (
     FailureLog,
     ResultStore,
@@ -48,6 +77,7 @@ from repro.experiments.store import (
 DEFAULT_STORE = Path("benchmarks") / "results" / "store"
 DEFAULT_CACHE = Path("benchmarks") / ".cache"
 DEFAULT_OUT_DIR = Path("benchmarks") / "results"
+DEFAULT_SHARD_DIR = Path("benchmarks") / "results" / "shards"
 
 
 def load_experiment(spec: str, smoke: bool = False) -> ExperimentSpec:
@@ -87,6 +117,32 @@ def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
                         help="seconds-fast smoke variant of a preset")
 
 
+def _default_out_path(experiment_id: str) -> Path:
+    """The canonical aggregate path of an experiment — shared by ``run``
+    and ``shard merge`` so the two default outputs always coincide.
+
+    Figure presets render their figure tables under the canonical
+    ``fig*.json`` stems; the sweep aggregate gets a distinct ``_sweep``
+    suffix so neither overwrites the other.
+    """
+    stem = experiment_id.replace("/", "_").replace("-", "_")
+    suffix = "_sweep" if experiment_id in FIGURE_PRESETS else ""
+    return DEFAULT_OUT_DIR / f"{stem}{suffix}.json"
+
+
+def _format_age(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "age unknown"
+    seconds = max(0.0, seconds)
+    if seconds < 120:
+        return f"{seconds:.0f}s old"
+    if seconds < 7200:
+        return f"{seconds / 60:.0f}m old"
+    if seconds < 172800:
+        return f"{seconds / 3600:.1f}h old"
+    return f"{seconds / 86400:.1f}d old"
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
@@ -108,14 +164,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="print a sweep's expanded jobs, store status and failures",
         formatter_class=argparse.RawDescriptionHelpFormatter,
         epilog="Status per job: 'stored' (artifact present, will be served "
-               "from cache), 'failed' (a logged failure; its traceback is "
-               "printed below the job list), 'pending' (will compute on the "
-               "next run).  Point --store at the store a run used to inspect "
-               "that run's state.",
+               "from cache), 'failed' (a logged failure; its traceback and "
+               "age are printed below the job list), 'pending' (will compute "
+               "on the next run).  Point --store at the store a run used to "
+               "inspect that run's state.",
     )
     _add_spec_arguments(show)
     show.add_argument("--store", type=Path, default=DEFAULT_STORE,
                       help=f"result store to check against (default {DEFAULT_STORE})")
+    show.add_argument("--expire-failures", type=float, default=None,
+                      metavar="SECONDS",
+                      help="drop THIS sweep's failure-log entries older "
+                           "than SECONDS before listing (stale entries from "
+                           "long-dead runs stop shadowing fresh state; "
+                           "other sweeps' entries in a shared store are "
+                           "untouched)")
 
     run = sub.add_parser(
         "run",
@@ -125,23 +188,34 @@ def build_parser() -> argparse.ArgumentParser:
                "rerunning an identical sweep is a full cache hit and an "
                "interrupted one resumes byte-identically.  A fig* preset "
                "also renders its paper-style figure tables (JSON/markdown/"
-               "CSV) into the output directory.",
+               "CSV; add --ascii for terminal bar charts) into the output "
+               "directory.",
     )
     _add_spec_arguments(run)
     run.add_argument("--jobs", type=int, default=1,
                      help="parallel worker processes (default 1: in-process)")
+    run.add_argument("--executor", choices=EXECUTOR_NAMES, default=None,
+                     help="execution strategy (default: process pool iff "
+                          "--jobs > 1, else serial)")
+    run.add_argument("--shards", type=int, default=2, metavar="N",
+                     help="shard count of --executor sharded (default 2)")
     run.add_argument("--resume", action="store_true", default=True,
                      help="skip jobs already in the store (default)")
     run.add_argument("--force", action="store_true",
-                     help="drop the sweep's cached artifacts and recompute")
+                     help="drop the sweep's cached artifacts (shared "
+                          "siblings included) and recompute")
     run.add_argument("--max-failures", type=int, default=None, metavar="N",
                      help="tolerate up to N failed jobs (logged to the "
-                          "store's failure log) instead of aborting on the "
-                          "first failure")
+                          "store's failure log; a failure's dependents are "
+                          "marked failed-with-cause and count once) instead "
+                          "of aborting on the first failure")
     run.add_argument("--inject-failure", type=int, action="append", default=None,
                      metavar="INDEX",
                      help="force the job at INDEX to fail (testing aid for "
                           "the failure path; repeatable)")
+    run.add_argument("--ascii", action="store_true",
+                     help="also render figure tables as ASCII bar charts "
+                          "(<figure>.txt; fig* presets only)")
     run.add_argument("--store", type=Path, default=DEFAULT_STORE,
                      help=f"result store directory (default {DEFAULT_STORE})")
     run.add_argument("--cache-dir", type=Path, default=DEFAULT_CACHE,
@@ -149,6 +223,52 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--out", type=Path, default=None,
                      help="aggregate record path "
                           f"(default {DEFAULT_OUT_DIR}/<experiment>.json)")
+
+    shard = sub.add_parser(
+        "shard",
+        help="partition a sweep into shard manifests, run one, merge results",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog="The multi-machine flow: 'emit' writes N self-contained JSON "
+               "manifests (job-key lists); each 'run' executes one manifest "
+               "against the shared content-addressed store (independent "
+               "processes or machines, any order, restartable); 'merge' "
+               "re-expands the sweep, checks completeness and assembles the "
+               "aggregate — byte-identical to a single-process run, because "
+               "rows are read back from the same artifacts.",
+    )
+    shard_sub = shard.add_subparsers(dest="shard_command", required=True)
+
+    emit = shard_sub.add_parser(
+        "emit", help="write N shard manifests for a sweep")
+    _add_spec_arguments(emit)
+    emit.add_argument("--shards", type=int, default=2, metavar="N",
+                      help="number of manifests to emit (default 2)")
+    emit.add_argument("--dir", type=Path, default=DEFAULT_SHARD_DIR,
+                      help=f"manifest directory (default {DEFAULT_SHARD_DIR})")
+    emit.add_argument("--store", type=Path, default=DEFAULT_STORE,
+                      help="store the next-step hint commands point at "
+                           f"(default {DEFAULT_STORE})")
+
+    shard_run = shard_sub.add_parser(
+        "run", help="execute one shard manifest against the store")
+    shard_run.add_argument("manifest", type=Path, help="shard manifest path")
+    shard_run.add_argument("--store", type=Path, default=DEFAULT_STORE,
+                           help=f"result store directory (default {DEFAULT_STORE})")
+    shard_run.add_argument("--cache-dir", type=Path, default=DEFAULT_CACHE,
+                           help=f"trained-weight cache (default {DEFAULT_CACHE})")
+    shard_run.add_argument("--result", type=Path, default=None,
+                           help="per-job status output "
+                                "(default <manifest stem>.result.json)")
+
+    merge = shard_sub.add_parser(
+        "merge", help="merge shard results into the sweep aggregate")
+    merge.add_argument("manifests", type=Path, nargs="+",
+                       help="shard manifest paths, or a directory of them")
+    merge.add_argument("--store", type=Path, default=DEFAULT_STORE,
+                       help=f"result store directory (default {DEFAULT_STORE})")
+    merge.add_argument("--out", type=Path, default=None,
+                       help="aggregate record path "
+                            f"(default {DEFAULT_OUT_DIR}/<experiment>.json)")
     return parser
 
 
@@ -169,9 +289,23 @@ def _cmd_show(args: argparse.Namespace) -> int:
     failure_log = FailureLog(store)
     print(f"[{experiment.experiment_id}] {experiment.description}")
     print(f"salt: {code_version_salt()}  jobs: {len(jobs)}  store: {store.root}")
+    if args.expire_failures is not None:
+        # Scoped to THIS sweep's artifacts (grid jobs + shared deps): the
+        # default store is shared across presets and `show <spec>` must not
+        # destroy another sweep's tracebacks.
+        dropped = failure_log.expire(
+            args.expire_failures, keys=list(expanded_artifacts(jobs))
+        )
+        if dropped:
+            print(f"expired {len(dropped)} failure entr"
+                  f"{'y' if len(dropped) == 1 else 'ies'} older than "
+                  f"{_format_age(args.expire_failures)[:-4]} "
+                  f"(will retry as 'pending')")
     failed_keys = []
+    grid_keys = set()
     for index, job in enumerate(jobs):
         key = job_key(job)
+        grid_keys.add(key)
         if store.has(key):
             status = "stored"
         elif failure_log.has(key):
@@ -180,11 +314,26 @@ def _cmd_show(args: argparse.Namespace) -> int:
         else:
             status = "pending"
         print(f"  {index:3d} {key[:16]} {status:7s} {job.kind:12s} {job.label_dict}")
+    # Shared dependency artifacts (clean references, distribution captures,
+    # calibration siblings) are not grid points, but a failed one is the
+    # *root cause* of its dependents' failed-with-cause entries — surface
+    # it too, or its traceback would be unreachable from here.
+    for key, job in expanded_artifacts(jobs).items():
+        # store.has first, like the grid rows: a stored artifact with a
+        # stale log entry has healed and must not read as FAILED.
+        if key in grid_keys or store.has(key) or not failure_log.has(key):
+            continue
+        failed_keys.append(key)
+        print(f"    - {key[:16]} FAILED  {job.kind:12s} (shared dependency)")
     for key in failed_keys:
         entry = failure_log.load(key)
+        age = _format_age(failure_log.age_seconds(key))
         print(f"\nfailure {key[:16]} (job {entry.get('index')}, "
               f"{entry.get('kind')} {entry.get('label')}):")
-        print(f"  logged at {entry.get('logged_at')}: {entry.get('error')}")
+        print(f"  logged at {entry.get('logged_at')} ({age}): {entry.get('error')}")
+        if entry.get("cause_key"):
+            print(f"  caused by upstream failure {str(entry['cause_key'])[:16]} "
+                  "(fixing/rerunning the upstream job heals this one too)")
         for line in str(entry.get("traceback", "")).rstrip().splitlines():
             print(f"  | {line}")
     if failed_keys:
@@ -203,13 +352,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     sweep = experiment.sweep
     store = ResultStore(args.store)
     out = args.out
-    experiment_stem = experiment.experiment_id.replace("/", "_").replace("-", "_")
     if out is None:
-        # Figure presets render their figure tables under the canonical
-        # fig*.json stems; keep the sweep aggregate at a distinct path so
-        # neither overwrites the other.
-        suffix = "_sweep" if experiment.experiment_id in FIGURE_PRESETS else ""
-        out = DEFAULT_OUT_DIR / f"{experiment_stem}{suffix}.json"
+        out = _default_out_path(experiment.experiment_id)
     try:
         run = run_sweep(
             sweep,
@@ -221,6 +365,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             progress=print,
             max_failures=args.max_failures,
             inject_failures=args.inject_failure or (),
+            executor=args.executor,
+            shards=args.shards,
         )
     except KeyboardInterrupt:
         print(
@@ -240,8 +386,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if experiment.experiment_id in FIGURE_PRESETS:
         from repro.report.figures import render_figure_outputs
 
+        formats = ("json", "md", "csv", "ascii") if args.ascii else ("json", "md", "csv")
         written = render_figure_outputs(
-            experiment.experiment_id, run, store, out.parent
+            experiment.experiment_id, run, store, out.parent, formats=formats
         )
         if written:
             print("\nfigure tables:")
@@ -262,10 +409,172 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+# --------------------------------------------------------------------- #
+# Shard subcommands
+# --------------------------------------------------------------------- #
+def _cmd_shard_emit(args: argparse.Namespace) -> int:
+    experiment = load_experiment(_resolve_spec(args), smoke=args.smoke)
+    paths = write_shard_manifests(
+        experiment.sweep, args.shards, args.dir, experiment=experiment,
+    )
+    jobs = len(experiment.sweep.expand())
+    print(f"[{experiment.experiment_id}] {jobs} jobs -> {len(paths)} shard "
+          f"manifest(s) (salt {code_version_salt()}):")
+    for path in paths:
+        print(f"  {path}")
+    print("\nrun each shard (independent processes or machines, shared store):")
+    for path in paths:
+        print(f"  python -m repro.experiments shard run {path} --store {args.store}")
+    print("\nthen merge:")
+    print(f"  python -m repro.experiments shard merge {args.dir} --store {args.store}")
+    return 0
+
+
+def _cmd_shard_run(args: argparse.Namespace) -> int:
+    manifest = load_shard_manifest(args.manifest)
+    store = ResultStore(args.store)
+    print(f"shard {manifest['shard_index'] + 1}/{manifest['shard_count']}: "
+          f"{len(manifest['jobs'])} job(s) against {store.root} "
+          f"(salt {manifest['salt']})")
+    statuses = run_shard_manifest(
+        manifest, store, weights_cache_dir=str(args.cache_dir), progress=print,
+    )
+    result_path = args.result or manifest_result_path(args.manifest)
+    result_path.parent.mkdir(parents=True, exist_ok=True)
+    result_path.write_text(json.dumps(
+        {"manifest": str(args.manifest), "statuses": statuses},
+        indent=2, sort_keys=True,
+    ))
+    counts: dict = {}
+    for status in statuses:
+        counts[status["status"]] = counts.get(status["status"], 0) + 1
+    summary = ", ".join(f"{counts[name]} {name}" for name in sorted(counts))
+    print(f"shard complete: {summary or 'no jobs'} -> {result_path}")
+    failed = sum(
+        1 for status in statuses
+        if status["status"] in ("failed", "upstream_failed")
+    )
+    return 4 if failed else 0
+
+
+def _collect_manifest_paths(arguments: List[Path]) -> List[Path]:
+    paths: List[Path] = []
+    for argument in arguments:
+        if argument.is_dir():
+            paths.extend(
+                sorted(
+                    p for p in argument.glob("*.json")
+                    if not p.name.endswith(".result.json")
+                )
+            )
+        else:
+            paths.append(argument)
+    if not paths:
+        raise SystemExit(f"no shard manifests found under {arguments}")
+    return paths
+
+
+def _cmd_shard_merge(args: argparse.Namespace) -> int:
+    paths = _collect_manifest_paths(args.manifests)
+    manifests = [load_shard_manifest(path) for path in paths]
+    salts = {manifest["salt"] for manifest in manifests}
+    if len(salts) > 1:
+        raise SystemExit(
+            f"refusing to merge shards with mixed salts: {sorted(salts)}"
+        )
+    salt = salts.pop()
+    with_sweep = next((m for m in manifests if "sweep" in m), None)
+    if with_sweep is None:
+        raise SystemExit(
+            "none of the manifests embeds the sweep spec (emitted by an "
+            "older tool?); re-emit with 'shard emit'"
+        )
+    sweep_jsons = {
+        json.dumps(m["sweep"], sort_keys=True) for m in manifests if "sweep" in m
+    }
+    if len(sweep_jsons) > 1:
+        raise SystemExit(
+            "refusing to merge manifests of different sweeps (a directory "
+            "holding several 'shard emit' outputs?); pass one sweep's "
+            "manifests explicitly"
+        )
+    sweep = SweepSpec.from_dict(with_sweep["sweep"])
+    # Expand and hash once; the foreign-key check, the completeness scan
+    # and the aggregation below all reuse this.
+    expanded = sweep.expand()
+    keys = [job_key(job, salt) for job in expanded]
+    # Every manifest's jobs must belong to this sweep — catches a directory
+    # mixing shards of two presets even when only one embeds its spec.
+    merged_keys = set(keys)
+    for path, manifest in zip(paths, manifests):
+        foreign = [
+            entry["key"] for entry in manifest.get("jobs", ())
+            if entry["key"] not in merged_keys
+        ]
+        if foreign:
+            raise SystemExit(
+                f"{path} holds {len(foreign)} job(s) that are not part of "
+                f"the merged sweep '{sweep.name}' (mixed sweeps in one "
+                "directory?); pass one sweep's manifests explicitly"
+            )
+    identity = with_sweep.get("experiment")
+    experiment = (
+        ExperimentSpec(
+            experiment_id=identity["experiment_id"],
+            sweep=sweep,
+            description=identity.get("description", ""),
+            paper_reference=identity.get("paper_reference", ""),
+        )
+        if identity
+        else None
+    )
+    store = ResultStore(args.store)
+    failure_log = FailureLog(store)
+    missing = []
+    for index, (job, key) in enumerate(zip(expanded, keys)):
+        if not store.has(key):
+            state = "FAILED" if failure_log.has(key) else "missing"
+            missing.append((index, key, state, job))
+    if missing:
+        print(f"merge incomplete: {len(missing)}/{len(expanded)} job(s) "
+              f"without artifacts in {store.root}:", file=sys.stderr)
+        for index, key, state, job in missing[:20]:
+            print(f"  {index:3d} {key[:16]} {state:7s} {job.kind} "
+                  f"{job.label_dict}", file=sys.stderr)
+        if len(missing) > 20:
+            print(f"  ... and {len(missing) - 20} more", file=sys.stderr)
+        print("run the remaining shard(s) — or rerun failed ones — then "
+              "merge again", file=sys.stderr)
+        return 2
+    run = aggregate_sweep(
+        sweep, store, salt=salt, experiment=experiment,
+        expanded=expanded, keys=keys,
+    )
+    experiment_id = experiment.experiment_id if experiment else sweep.name
+    out = args.out
+    if out is None:
+        out = _default_out_path(experiment_id)
+    print(run.record.to_table())
+    saved = run.record.save(out)
+    digest = hashlib.sha256(saved.read_bytes()).hexdigest()
+    print(f"\nmerged {len(expanded)} job(s) from {len(paths)} shard "
+          f"manifest(s) -> {out}")
+    print(f"aggregate sha256: {digest}")
+    print("(assembled purely from stored artifacts in grid order — "
+          "byte-identical to a single-process run's aggregate)")
+    return 0
+
+
 def main(argv: Optional[list] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
         return _cmd_list()
     if args.command == "show":
         return _cmd_show(args)
+    if args.command == "shard":
+        if args.shard_command == "emit":
+            return _cmd_shard_emit(args)
+        if args.shard_command == "run":
+            return _cmd_shard_run(args)
+        return _cmd_shard_merge(args)
     return _cmd_run(args)

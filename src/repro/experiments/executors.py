@@ -1,0 +1,594 @@
+"""The executor layer: pluggable strategies for running scheduled waves.
+
+The scheduler (:mod:`repro.experiments.scheduler`) decides *what* runs and
+in *which order*; an :class:`Executor` decides *where*.  Three built-ins:
+
+* :class:`SerialExecutor` — in-process, one job at a time.  The per-process
+  workload/artifact memos make consecutive jobs cheap; this is the
+  byte-reference every other executor is tested against.
+* :class:`ProcessPoolExecutor` — a ``concurrent.futures`` process pool.
+  Derived-seed determinism makes worker results bit-identical to in-process
+  ones; the store's atomic writes make concurrent completion safe.
+* :class:`ShardedExecutor` — partitions each wave round-robin into N
+  *shard manifests* (JSON job lists) and runs each as an independent
+  ``python -m repro.experiments shard run`` subprocess against the same
+  content-addressed store.  The same manifest format drives the explicit
+  multi-machine flow (``shard emit`` → N × ``shard run`` → ``shard
+  merge``): because artifacts are content-addressed and writes are atomic,
+  shards never coordinate — at worst two shards compute the same shared
+  sibling and store identical bytes.
+
+Executors are context managers, and **cancellation lives here**: leaving
+the ``with`` block on an exception (Ctrl-C, first-failure abort,
+``MaxFailuresExceeded``) is the one place pending work is torn down —
+``shutdown(wait=False, cancel_futures=True)`` for the pool, terminated
+subprocesses for the shards.  The runner used to repeat that handling
+inline around every fan-out.
+
+An executor's :meth:`~Executor.run_wave` receives mutually-independent
+:class:`~repro.experiments.scheduler.ScheduledJob` nodes (the scheduler
+guarantees their dependencies are already stored) and yields
+``(node, error-or-None)`` as each completes.  Completion order is
+irrelevant to results: rows are read back from the store in grid order.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import dataclasses
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.experiments.scheduler import ScheduledJob, UpstreamFailed
+from repro.experiments.spec import ExperimentSpec, JobSpec, SweepSpec
+from repro.experiments.store import ResultStore, code_version_salt, job_key
+from repro.utils.logging import get_logger
+
+logger = get_logger("experiments.executors")
+
+EXECUTOR_NAMES = ("serial", "process", "sharded")
+
+#: Manifest schema marker (bump on incompatible manifest layout changes).
+SHARD_MANIFEST_FORMAT = "repro-shard-manifest/v1"
+
+WaveOutcome = Tuple[ScheduledJob, Optional[BaseException]]
+
+
+class ShardJobFailed(RuntimeError):
+    """A job failed inside a shard subprocess.
+
+    ``logged`` tells the failure policy whether the shard already persisted
+    the real traceback to the store's failure log (it did, unless the
+    subprocess itself died before writing results).
+    """
+
+    def __init__(self, message: str, logged: bool = True) -> None:
+        super().__init__(message)
+        self.logged = logged
+
+
+@dataclasses.dataclass
+class ExecutionContext:
+    """Everything an executor needs to run jobs against one store."""
+
+    store: ResultStore
+    weights_cache_dir: Optional[str] = None
+    salt: Optional[str] = None
+    inject: frozenset = frozenset()
+
+    def should_inject(self, node: ScheduledJob) -> bool:
+        return any(index in self.inject for index in node.indices)
+
+
+def _injected_error(job: JobSpec) -> RuntimeError:
+    return RuntimeError(
+        f"injected failure (--inject-failure) for {job.kind} job {job.label_dict}"
+    )
+
+
+# --------------------------------------------------------------------- #
+# The protocol
+# --------------------------------------------------------------------- #
+class Executor:
+    """Base executor: a context manager that runs waves of scheduled jobs.
+
+    Subclasses implement :meth:`run_wave`; lifecycle (resource setup in
+    ``__enter__``, teardown *and cancellation* in ``__exit__``) is the
+    base contract the runner relies on.
+    """
+
+    name: str = "executor"
+    #: Whether worker processes benefit from the parent pre-training the
+    #: workload weights into the on-disk cache before fan-out.
+    needs_prewarm: bool = False
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def run_wave(
+        self,
+        wave: Sequence[ScheduledJob],
+        context: ExecutionContext,
+    ) -> Iterator[WaveOutcome]:
+        """Execute one wave of mutually-independent jobs.
+
+        Yields ``(node, None)`` for each success and ``(node, error)`` for
+        each failure, in completion order.  Must not raise for ordinary
+        job failures — only for executor-level problems (and
+        ``KeyboardInterrupt``, which the runner turns into cancellation
+        via ``__exit__``).
+        """
+        raise NotImplementedError
+
+
+def resolve_executor(
+    executor: Union[str, Executor, None] = None,
+    jobs: int = 1,
+    shards: int = 2,
+) -> Executor:
+    """Resolve the ``run_sweep`` executor argument to an instance.
+
+    ``None`` keeps the historical behaviour: a process pool when
+    ``jobs > 1``, in-process otherwise.
+    """
+    if isinstance(executor, Executor):
+        return executor
+    if executor is None:
+        executor = "process" if jobs > 1 else "serial"
+    if executor == "serial":
+        return SerialExecutor()
+    if executor == "process":
+        return ProcessPoolExecutor(max_workers=jobs)
+    if executor == "sharded":
+        return ShardedExecutor(shards=shards)
+    raise ValueError(
+        f"unknown executor {executor!r} (expected one of {EXECUTOR_NAMES})"
+    )
+
+
+# --------------------------------------------------------------------- #
+# Serial
+# --------------------------------------------------------------------- #
+class SerialExecutor(Executor):
+    """In-process execution, one job at a time, in scheduler order."""
+
+    name = "serial"
+
+    def run_wave(
+        self, wave: Sequence[ScheduledJob], context: ExecutionContext
+    ) -> Iterator[WaveOutcome]:
+        from repro.experiments.runner import execute_job  # lazy: cycle
+
+        for node in wave:
+            try:
+                if context.should_inject(node):
+                    raise _injected_error(node.job)
+                execute_job(
+                    node.job, context.store, context.weights_cache_dir, context.salt
+                )
+            except KeyboardInterrupt:
+                raise
+            except Exception as error:  # noqa: BLE001 - the policy decides
+                yield node, error
+            else:
+                yield node, None
+
+
+# --------------------------------------------------------------------- #
+# Process pool
+# --------------------------------------------------------------------- #
+class ProcessPoolExecutor(Executor):
+    """A ``concurrent.futures`` process-pool executor.
+
+    The pool lives for the whole sweep (workers keep their workload memos
+    warm across waves).  ``__exit__`` is the single cancellation point: a
+    clean exit drains the pool, an exceptional one drops queued futures
+    and abandons the workers (``wait=False, cancel_futures=True``).
+    """
+
+    name = "process"
+    needs_prewarm = True
+
+    def __init__(self, max_workers: int = 2) -> None:
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = max_workers
+        self._pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
+
+    def __enter__(self) -> "ProcessPoolExecutor":
+        self._pool = concurrent.futures.ProcessPoolExecutor(
+            max_workers=self.max_workers
+        )
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            if exc_type is None:
+                pool.shutdown(wait=True)
+            else:
+                # The one cancellation path: Ctrl-C, first-failure abort and
+                # MaxFailuresExceeded all unwind through here.
+                pool.shutdown(wait=False, cancel_futures=True)
+        return False
+
+    def run_wave(
+        self, wave: Sequence[ScheduledJob], context: ExecutionContext
+    ) -> Iterator[WaveOutcome]:
+        from repro.experiments.runner import _worker_execute  # lazy: cycle
+
+        if self._pool is None:
+            raise RuntimeError("ProcessPoolExecutor used outside its context")
+        futures = {
+            self._pool.submit(
+                _worker_execute,
+                node.job.to_dict(),
+                str(context.store.root),
+                context.weights_cache_dir,
+                context.salt,
+                context.should_inject(node),
+            ): node
+            for node in wave
+        }
+        for future in concurrent.futures.as_completed(futures):
+            node = futures[future]
+            try:
+                future.result()
+            except Exception as error:  # noqa: BLE001 - the policy decides
+                yield node, error
+            else:
+                yield node, None
+
+
+# --------------------------------------------------------------------- #
+# Shard manifests (shared by ShardedExecutor and the `shard` CLI)
+# --------------------------------------------------------------------- #
+def _round_robin(items: Sequence, shards: int) -> List[List]:
+    """The one partition policy, shared by ``plan_shards`` (the
+    emit/run/merge flow) and ``ShardedExecutor`` (per-wave groups), so the
+    two sharding paths can never balance work differently."""
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    return [list(items[i::shards]) for i in range(shards)]
+
+
+def plan_shards(
+    jobs: Sequence[JobSpec], shards: int
+) -> List[List[Tuple[int, JobSpec]]]:
+    """Partition a sweep's expanded jobs round-robin into ``shards`` groups.
+
+    Round-robin over the expansion index balances the expensive kinds
+    (which presets tend to list contiguously) across shards, and makes the
+    partition a pure function of (sweep, shard count).
+    """
+    return _round_robin(list(enumerate(jobs)), shards)
+
+
+def shard_manifest_dict(
+    entries: Sequence[Tuple[Optional[int], JobSpec, bool]],
+    shard_index: int,
+    shard_count: int,
+    salt: Optional[str] = None,
+    sweep: Optional[SweepSpec] = None,
+    experiment: Optional[ExperimentSpec] = None,
+) -> Dict[str, object]:
+    """The JSON manifest of one shard: a job-key list plus the specs.
+
+    ``entries`` are ``(sweep index or None, job, inject_failure)``.  The
+    resolved salt rides along so every shard (and the merge) addresses the
+    same artifacts; the sweep spec and experiment identity are included
+    when known so ``shard merge`` can rebuild the full aggregate —
+    byte-identical to a single-process ``run`` — without the original
+    command line.
+    """
+    manifest: Dict[str, object] = {
+        "format": SHARD_MANIFEST_FORMAT,
+        "shard_index": int(shard_index),
+        "shard_count": int(shard_count),
+        "salt": salt if salt is not None else code_version_salt(),
+        "jobs": [
+            {
+                "index": index,
+                "key": job_key(job, salt),
+                "spec": job.to_dict(),
+                "inject_failure": bool(inject),
+            }
+            for index, job, inject in entries
+        ],
+    }
+    if sweep is not None:
+        manifest["sweep"] = sweep.to_dict()
+    if experiment is not None:
+        manifest["experiment"] = {
+            "experiment_id": experiment.experiment_id,
+            "description": experiment.description,
+            "paper_reference": experiment.paper_reference,
+        }
+    return manifest
+
+
+def write_shard_manifests(
+    sweep: SweepSpec,
+    shards: int,
+    directory: Union[str, Path],
+    salt: Optional[str] = None,
+    experiment: Optional[ExperimentSpec] = None,
+) -> List[Path]:
+    """Emit one manifest per shard for a full sweep (the ``shard emit`` CLI).
+
+    Every shard is self-contained: ``shard run`` resolves dependencies
+    through the scheduler at run time, loading shared siblings from the
+    store when another shard (or an earlier run) already computed them and
+    computing them itself otherwise — identical bytes either way.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    stem = (experiment.experiment_id if experiment else sweep.name).replace("/", "_")
+    paths: List[Path] = []
+    for shard_index, group in enumerate(plan_shards(sweep.expand(), shards)):
+        manifest = shard_manifest_dict(
+            [(index, job, False) for index, job in group],
+            shard_index,
+            shards,
+            salt=salt,
+            sweep=sweep,
+            experiment=experiment,
+        )
+        path = directory / f"{stem}-shard{shard_index}of{shards}.json"
+        path.write_text(json.dumps(manifest, indent=2, sort_keys=True))
+        paths.append(path)
+    return paths
+
+
+def load_shard_manifest(path: Union[str, Path]) -> Dict[str, object]:
+    manifest = json.loads(Path(path).read_text())
+    if manifest.get("format") != SHARD_MANIFEST_FORMAT:
+        raise ValueError(
+            f"{path} is not a shard manifest (format "
+            f"{manifest.get('format')!r}, expected {SHARD_MANIFEST_FORMAT!r})"
+        )
+    return manifest
+
+
+def manifest_result_path(manifest_path: Union[str, Path]) -> Path:
+    """Where ``shard run`` persists its per-job statuses."""
+    manifest_path = Path(manifest_path)
+    return manifest_path.with_name(f"{manifest_path.stem}.result.json")
+
+
+def run_shard_manifest(
+    manifest: Dict[str, object],
+    store: ResultStore,
+    weights_cache_dir: Optional[str] = None,
+    progress=None,
+) -> List[Dict[str, object]]:
+    """Execute one shard manifest's jobs serially against ``store``.
+
+    Dependencies are resolved through the scheduler exactly like a normal
+    run (stored siblings are loaded, missing ones computed), failures are
+    tolerated — each is persisted to the store's failure log, dependents
+    are marked ``upstream_failed`` with the root cause — and a status row
+    per job (plus any extra shared artifacts) is returned for the caller
+    to persist.  Budget enforcement (``--max-failures``) is the *parent's*
+    responsibility: a shard cannot see its siblings' failures.
+    """
+    from repro.experiments.runner import execute_graph  # lazy: cycle
+    from repro.experiments.scheduler import build_job_graph
+    from repro.experiments.store import FailureLog
+
+    salt = manifest.get("salt")
+    entries = list(manifest.get("jobs", ()))
+    failure_log = FailureLog(store)
+    statuses: List[Dict[str, object]] = []
+    pending: List[Tuple[Optional[int], JobSpec]] = []
+    inject: set = set()
+    synthetic = -1  # distinct negative pseudo-indices for index-less entries
+    for entry in entries:
+        job = JobSpec.from_dict(entry["spec"])
+        index = entry.get("index")
+        key = job_key(job, salt)
+        if store.has(key):
+            if failure_log.has(key):  # healed on an earlier (re)run
+                failure_log.clear(key)
+            statuses.append(
+                {"key": key, "index": index, "kind": job.kind, "status": "cached"}
+            )
+            continue
+        if index is None:
+            index = synthetic
+            synthetic -= 1
+        if entry.get("inject_failure"):
+            inject.add(index)
+        pending.append((index, job))
+
+    graph = build_job_graph(pending, store, salt)
+    context = ExecutionContext(
+        store=store,
+        weights_cache_dir=weights_cache_dir,
+        salt=salt,
+        inject=frozenset(inject),
+    )
+
+    def on_result(node: ScheduledJob, error: Optional[BaseException]) -> None:
+        index = node.index if (node.index is None or node.index >= 0) else None
+        status = {
+            "key": node.key,
+            "index": index,
+            "kind": node.job.kind,
+            "status": "done",
+        }
+        if error is None and failure_log.has(node.key):
+            failure_log.clear(node.key)  # a success heals the stale entry
+        if error is not None:
+            if isinstance(error, UpstreamFailed):
+                status["status"] = "upstream_failed"
+                status["cause_key"] = error.cause_key
+            else:
+                status["status"] = "failed"
+            status["error"] = f"{type(error).__name__}: {error}"
+            cause_key = getattr(error, "cause_key", None)
+            failure_log.record(
+                node.key, node.job, error, index=index, cause_key=cause_key
+            )
+        if progress is not None:
+            progress(f"  shard job {node.describe()}: {status['status']}")
+        statuses.append(status)
+
+    execute_graph(graph, SerialExecutor(), context, on_result)
+    return statuses
+
+
+# --------------------------------------------------------------------- #
+# Sharded executor
+# --------------------------------------------------------------------- #
+def _shard_subprocess_env() -> Dict[str, str]:
+    """The child environment: the running ``repro`` package on PYTHONPATH."""
+    import repro
+
+    env = dict(os.environ)
+    src = str(Path(repro.__file__).resolve().parent.parent)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src if not existing else f"{src}{os.pathsep}{existing}"
+    return env
+
+
+class ShardedExecutor(Executor):
+    """Run each wave as N independent ``shard run`` subprocesses.
+
+    Every wave is partitioned round-robin into ``shards`` manifests; each
+    subprocess executes its manifest serially against the same store and
+    writes a result file of per-job statuses.  This is the in-process face
+    of the multi-machine flow — the manifests it writes are exactly what
+    ``shard emit`` produces, just one wave at a time.
+
+    Subprocess teardown on an exceptional exit (Ctrl-C, budget exceeded)
+    happens in ``__exit__`` — the same centralised cancellation contract as
+    the process pool.
+    """
+
+    name = "sharded"
+    needs_prewarm = True
+
+    def __init__(self, shards: int = 2) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.shards = shards
+        self._tmpdir: Optional[tempfile.TemporaryDirectory] = None
+        self._procs: List[subprocess.Popen] = []
+        self._wave = 0
+
+    def __enter__(self) -> "ShardedExecutor":
+        self._tmpdir = tempfile.TemporaryDirectory(prefix="repro-shards-")
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        procs, self._procs = self._procs, []
+        if exc_type is not None:
+            for proc in procs:
+                if proc.poll() is None:
+                    proc.terminate()
+            for proc in procs:
+                try:
+                    proc.wait(timeout=5)
+                except subprocess.TimeoutExpired:  # pragma: no cover - last resort
+                    proc.kill()
+        if self._tmpdir is not None:
+            self._tmpdir.cleanup()
+            self._tmpdir = None
+        return False
+
+    def run_wave(
+        self, wave: Sequence[ScheduledJob], context: ExecutionContext
+    ) -> Iterator[WaveOutcome]:
+        if self._tmpdir is None:
+            raise RuntimeError("ShardedExecutor used outside its context")
+        self._wave += 1
+        groups = [group for group in _round_robin(list(wave), self.shards) if group]
+        launches: List[
+            Tuple[subprocess.Popen, Path, Path, List[ScheduledJob]]
+        ] = []
+        env = _shard_subprocess_env()
+        for shard_index, group in enumerate(groups):
+            manifest = shard_manifest_dict(
+                [
+                    (node.index, node.job, context.should_inject(node))
+                    for node in group
+                ],
+                shard_index,
+                len(groups),
+                salt=context.salt,
+            )
+            path = Path(self._tmpdir.name) / (
+                f"wave{self._wave}-shard{shard_index}of{len(groups)}.json"
+            )
+            path.write_text(json.dumps(manifest, indent=2, sort_keys=True))
+            stderr_path = path.with_name(f"{path.stem}.stderr")
+            # Always pin --cache-dir: the child CLI's default is a path
+            # relative to its cwd (benchmarks/.cache), which a library
+            # caller with no cache configured must not inherit — a
+            # throwaway cache inside the executor's tempdir keeps the
+            # subprocesses hermetic (weights are deterministic either way).
+            cache_dir = context.weights_cache_dir or str(
+                Path(self._tmpdir.name) / "weights-cache"
+            )
+            command = [
+                sys.executable, "-m", "repro.experiments", "shard", "run",
+                str(path), "--store", str(context.store.root),
+                "--cache-dir", cache_dir,
+            ]
+            # stderr goes to a file, not a pipe: a verbose shard must never
+            # stall on pipe backpressure while the parent drains its
+            # siblings in launch order.
+            with open(stderr_path, "wb") as stderr_handle:
+                proc = subprocess.Popen(
+                    command, env=env,
+                    stdout=subprocess.DEVNULL, stderr=stderr_handle,
+                )
+            launches.append((proc, path, stderr_path, group))
+            # Registered as launched (not after the loop): an interrupt or a
+            # failed later Popen must let __exit__ terminate the live ones.
+            self._procs.append(proc)
+        for proc, path, stderr_path, group in launches:
+            proc.wait()
+            stderr = stderr_path.read_bytes() if stderr_path.exists() else b""
+            result_path = manifest_result_path(path)
+            statuses: Dict[str, Dict[str, object]] = {}
+            if result_path.exists():
+                for status in json.loads(result_path.read_text()).get("statuses", ()):
+                    statuses[status["key"]] = status
+            elif proc.returncode != 0:
+                logger.warning(
+                    "shard subprocess exited %d without results: %s",
+                    proc.returncode,
+                    (stderr or b"").decode("utf-8", "replace").strip()[-500:],
+                )
+            for node in group:
+                status = statuses.get(node.key)
+                if status is None:
+                    detail = (stderr or b"").decode("utf-8", "replace").strip()
+                    yield node, ShardJobFailed(
+                        f"shard subprocess exited {proc.returncode} without a "
+                        f"result for {node.key[:12]}"
+                        + (f": {detail[-300:]}" if detail else ""),
+                        logged=False,
+                    )
+                elif status["status"] in ("done", "cached"):
+                    yield node, None
+                elif status["status"] == "upstream_failed":
+                    upstream = UpstreamFailed(
+                        str(status.get("error", "upstream failed")),
+                        str(status.get("cause_key", node.key)),
+                    )
+                    upstream.logged = True  # the shard persisted the entry
+                    yield node, upstream
+                else:
+                    yield node, ShardJobFailed(str(status.get("error", "failed")))
+        self._procs = []

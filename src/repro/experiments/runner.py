@@ -1,10 +1,23 @@
-"""Sweep execution: serial or process-parallel, resumable, deterministic.
+"""The orchestration layer: compose scheduler + executor + failure policy.
 
-The runner walks a :class:`~repro.experiments.spec.SweepSpec`'s expanded job
-list, skips every job whose address already exists in the
-:class:`~repro.experiments.store.ResultStore`, and executes the rest either
-in-process (``jobs=1``) or on a ``ProcessPoolExecutor``.  Three properties
-hold regardless of execution mode:
+:func:`run_sweep` is a thin pipeline over three explicit layers:
+
+1. **Dependency layer** (:mod:`repro.experiments.scheduler`) — the sweep's
+   pending jobs plus the transitive closure of their declared dependencies
+   (:meth:`JobSpec.dependencies`) become a deduplicated, content-addressed
+   job graph, scheduled as topological waves of arbitrary depth.
+2. **Executor layer** (:mod:`repro.experiments.executors`) — a pluggable
+   strategy (``serial`` / ``process`` / ``sharded``) runs each wave;
+   cancellation on abort lives in the executor, not here.
+3. **Failure policy** (this module) — failed jobs are logged to the
+   store's :class:`~repro.experiments.store.FailureLog`; transitive
+   dependents of a failed job are marked *failed-with-cause* instead of
+   recomputing and crashing, and a whole failure subtree counts **once**
+   against ``max_failures``.
+
+Jobs whose address already exists in the
+:class:`~repro.experiments.store.ResultStore` are skipped.  Three
+properties hold regardless of executor:
 
 * **Determinism** — every stochastic input is derived from the specs
   (trained weights from the workload seed, Monte Carlo trials from
@@ -30,16 +43,16 @@ bit-line distribution capture behind ``uniform_calibrated`` evaluations
   are atomic and happen only on success); the exception and traceback are
   recorded in the store's :class:`~repro.experiments.store.FailureLog`.
   With ``max_failures=None`` (default) the first failure aborts the sweep;
-  ``max_failures=N`` tolerates up to ``N`` failed jobs — their rows are
-  simply absent from the aggregate — and aborts with
-  :class:`MaxFailuresExceeded` beyond that.  A later successful run of a
-  previously-failed key clears its log entry, so rerunning a sweep heals
-  transient failures exactly like it resumes interrupted ones.
+  ``max_failures=N`` tolerates up to ``N`` failed *root* jobs — their rows
+  (and their dependents', marked failed-with-cause) are simply absent from
+  the aggregate — and aborts with :class:`MaxFailuresExceeded` beyond
+  that.  A later successful run of a previously-failed key clears its log
+  entry, so rerunning a sweep heals transient failures exactly like it
+  resumes interrupted ones.
 """
 
 from __future__ import annotations
 
-import concurrent.futures
 import dataclasses
 import time
 from pathlib import Path
@@ -47,6 +60,18 @@ from typing import Callable, Collection, Dict, List, Optional, Union
 
 import numpy as np
 
+from repro.experiments.executors import (
+    ExecutionContext,
+    Executor,
+    resolve_executor,
+)
+from repro.experiments.scheduler import (
+    JobGraph,
+    ScheduledJob,
+    UpstreamFailed,
+    build_job_graph,
+    expanded_artifacts,
+)
 from repro.experiments.spec import ExperimentSpec, JobSpec, SweepSpec
 from repro.experiments.store import FailureLog, ResultStore, code_version_salt, job_key
 from repro.report.experiments import ExperimentRecord
@@ -494,11 +519,11 @@ def _worker_execute(
     inject_failure: bool = False,
 ) -> str:
     """Top-level (picklable) entry point for pool workers."""
+    from repro.experiments.executors import _injected_error
+
     job = JobSpec.from_dict(job_dict)
     if inject_failure:
-        raise RuntimeError(
-            f"injected failure (--inject-failure) for {job.kind} job {job.label_dict}"
-        )
+        raise _injected_error(job)
     return execute_job(job, ResultStore(store_root), weights_cache_dir, salt)
 
 
@@ -542,11 +567,12 @@ def prewarm_workloads(
 ) -> None:
     """Train (and disk-cache) every unique workload of the jobs, serially.
 
-    Called before a parallel run so worker processes load the trained
-    weights from the cache instead of each re-training them.  Weights are
-    deterministic either way; this is purely a wall-clock optimisation.
-    ``run_sweep`` passes only its *pending* jobs, so fully-cached workloads
-    are never prepared just to be skipped.
+    Called before a parallel/sharded run so worker processes load the
+    trained weights from the cache instead of each re-training them.
+    Weights are deterministic either way; this is purely a wall-clock
+    optimisation.  ``run_sweep`` passes only the scheduled graph's jobs
+    (pending sweep jobs plus their unsatisfied dependencies), so
+    fully-cached workloads are never prepared just to be skipped.
     """
     if isinstance(sweep_or_jobs, SweepSpec):
         jobs = sweep_or_jobs.expand()
@@ -564,227 +590,112 @@ def prewarm_workloads(
         _prepared_workload(job, weights_cache_dir)
 
 
-def run_sweep(
+def execute_graph(
+    graph: JobGraph,
+    executor: Executor,
+    context: ExecutionContext,
+    on_result: Callable[[ScheduledJob, Optional[BaseException]], None],
+    progress: Optional[Callable[[str], None]] = None,
+) -> None:
+    """Run a job graph wave by wave on an executor.
+
+    The generic execution loop shared by :func:`run_sweep` and the shard
+    runner (:func:`repro.experiments.executors.run_shard_manifest`):
+
+    * waves run in topological order; the nodes of one wave go to the
+      executor together (it decides the parallelism);
+    * when a node fails, its transitive dependents are **not** executed —
+      each is reported with an :class:`UpstreamFailed` carrying the root
+      cause's key, wave by wave as it is reached;
+    * ``on_result(node, error-or-None)`` is called exactly once per node
+      and owns the policy — it may raise (first-failure abort, exhausted
+      failure budget), which unwinds through the executor's ``with`` block
+      and triggers its centralised cancellation.
+    """
+    failed_cause: Dict[str, str] = {}
+    waves = graph.waves()
+    with executor:
+        for number, wave in enumerate(waves, start=1):
+            runnable: List[ScheduledJob] = []
+            for node in wave:
+                cause = next(
+                    (failed_cause[dep] for dep in node.dependencies
+                     if dep in failed_cause),
+                    None,
+                )
+                if cause is not None:
+                    failed_cause[node.key] = cause
+                    on_result(
+                        node,
+                        UpstreamFailed(
+                            f"not run: upstream dependency {cause[:12]} failed",
+                            cause,
+                        ),
+                    )
+                    continue
+                runnable.append(node)
+            if not runnable:
+                continue
+            if progress is not None and len(waves) > 1:
+                shared = sum(1 for node in runnable if not node.indices)
+                progress(
+                    f"  wave {number}/{len(waves)}: {len(runnable)} job(s)"
+                    + (f" ({shared} shared artifact(s))" if shared else "")
+                )
+            for node, error in executor.run_wave(runnable, context):
+                if error is not None:
+                    failed_cause[node.key] = (
+                        getattr(error, "cause_key", None) or node.key
+                    )
+                on_result(node, error)
+
+
+def aggregate_sweep(
     sweep: SweepSpec,
     store: Union[ResultStore, str, Path],
-    jobs: int = 1,
-    force: bool = False,
-    weights_cache_dir: Optional[str] = None,
     salt: Optional[str] = None,
-    prewarm: Optional[bool] = None,
     experiment: Optional[ExperimentSpec] = None,
-    progress: Optional[Callable[[str], None]] = None,
-    max_failures: Optional[int] = None,
-    inject_failures: Collection[int] = (),
+    stats: Optional[SweepRunStats] = None,
+    failures: Optional[List[Dict[str, object]]] = None,
+    expanded: Optional[List[JobSpec]] = None,
+    keys: Optional[List[str]] = None,
 ) -> SweepRun:
-    """Execute a sweep against a result store and aggregate its table.
+    """Assemble a :class:`SweepRun` from a sweep's stored artifacts.
 
-    Parameters
-    ----------
-    jobs:
-        Worker processes; ``1`` executes in-process (no pool).
-    force:
-        Delete the sweep's existing artifacts (including shared clean
-        references) first, recomputing everything.
-    prewarm:
-        Train workload weights in the parent before forking workers.
-        Defaults to ``jobs > 1 and weights_cache_dir is not None``.
-    experiment:
-        Reporting identity; defaults to one derived from the sweep name.
-    max_failures:
-        ``None`` (default): the first failing job aborts the sweep (after
-        logging it).  ``N``: tolerate up to ``N`` failed jobs — each is
-        recorded in the store's failure log and its row is absent from the
-        aggregate; failure ``N+1`` aborts with :class:`MaxFailuresExceeded`.
-    inject_failures:
-        Job indices forced to raise instead of executing — a testing aid
-        (the CLI's ``--inject-failure``) for exercising the failure path
-        end to end.  Injected failures follow the same logging/tolerance
-        rules as real ones.
+    Deterministic aggregation: rows come from the store in grid-expansion
+    order (so completion order / worker count / shard layout / resume
+    history cannot influence them), with each job's grid-coordinate labels
+    merged in from the spec.  Jobs whose artifact is absent (tolerated
+    failures, jobs another shard has not finished) contribute no row; a
+    stored key with a stale failure entry has healed, so its entry is
+    cleared.
 
-    The returned :class:`SweepRun` carries rows in expansion order; the
-    aggregate is identical whether the sweep ran serially, in parallel, or
-    across several interrupted+resumed invocations, because rows are read
-    back from the content-addressed artifacts.
+    This is both the tail of :func:`run_sweep` and the whole of ``shard
+    merge`` — which is exactly why a merged multi-shard run is
+    byte-identical to a single-process one.
+
+    ``expanded``/``keys`` let :func:`run_sweep` hand over its already
+    computed expansion instead of re-hashing every spec; both default to a
+    fresh expansion of ``sweep``.
     """
     if not isinstance(store, ResultStore):
         store = ResultStore(store)
-    if jobs < 1:
-        raise ValueError(f"jobs must be >= 1, got {jobs}")
-    started = time.perf_counter()
-    expanded = sweep.expand()
-    keys = [job_key(job, salt) for job in expanded]
+    if expanded is None:
+        expanded = sweep.expand()
+    if keys is None:
+        keys = [job_key(job, salt) for job in expanded]
     failure_log = FailureLog(store)
-    failures: List[Dict[str, object]] = []
-    inject = frozenset(int(index) for index in inject_failures)
-
-    if force:
-        for job, key in zip(expanded, keys):
-            store.delete(key)
-            if job.kind == "monte_carlo":
-                store.delete(job_key(job.clean_job(), salt))
-        _CLEAN_MEMO.clear()
-
-    pending = [
-        (index, job) for index, (job, key) in enumerate(zip(expanded, keys))
-        if not store.has(key)
-    ]
-    stats = SweepRunStats(total=len(expanded), cached=len(expanded) - len(pending))
-    if progress is not None:
-        progress(
-            f"sweep '{sweep.name}': {stats.total} jobs, "
-            f"{stats.cached} cached, {len(pending)} to run (jobs={jobs})"
-        )
-
-    def note_failure(index: int, job: JobSpec, error: BaseException) -> None:
-        """Log one failed job; re-raise when the failure budget is spent."""
-        key = keys[index]
-        entry = failure_log.record(key, job, error, index=index)
-        failures.append(entry)
-        stats.failed += 1
-        if progress is not None:
-            progress(f"  FAILED [{index}] {job.kind} {job.label_dict}: "
-                     f"{entry['error']} (logged to {failure_log.path(key)})")
-        if max_failures is None:
-            raise error
-        if stats.failed > max_failures:
-            raise MaxFailuresExceeded(
-                f"sweep '{sweep.name}' exceeded max_failures={max_failures} "
-                f"({stats.failed} failed jobs; see {failure_log.root})"
-            ) from error
-
-    if pending:
-        if prewarm is None:
-            prewarm = jobs > 1 and weights_cache_dir is not None
-        if prewarm:
-            prewarm_workloads([job for _, job in pending], weights_cache_dir, progress)
-        if jobs == 1:
-            for index, job in pending:
-                try:
-                    if index in inject:
-                        raise RuntimeError(
-                            f"injected failure (--inject-failure) for {job.kind} "
-                            f"job {job.label_dict}"
-                        )
-                    execute_job(job, store, weights_cache_dir, salt)
-                except KeyboardInterrupt:
-                    raise
-                except Exception as error:  # noqa: BLE001 - policy decides
-                    note_failure(index, job, error)
-                    continue
-                stats.computed += 1
-                if progress is not None:
-                    progress(f"  [{stats.cached + stats.computed}/{stats.total}] "
-                             f"{job.kind} {job.label_dict}")
-        else:
-            # First wave: the unique shared artifacts the pending jobs will
-            # load — clean references of Monte Carlo jobs, distribution
-            # captures of calibrated-uniform evaluations, calibration
-            # siblings of power jobs.  Materialised before the main fan-out
-            # so concurrent workers don't race past the store check and each
-            # recompute the same artifact ("computed once per configuration"
-            # is a wall-clock contract, not just a storage one).  A wave
-            # failure is deferred: the dependent main jobs fail too and are
-            # logged/counted under the sweep's failure policy.
-            shared_wave: Dict[str, JobSpec] = {}
-            for index, job in pending:
-                if index in inject:
-                    continue  # its shared artifact would be wasted work
-                siblings = []
-                if job.kind == "monte_carlo":
-                    siblings.append(job.clean_job())
-                if job.kind in ("evaluate", "monte_carlo") \
-                        and job.datapath == "pim" and job.adc.needs_distributions:
-                    siblings.append(job.distribution_job())
-                if job.kind == "power":
-                    siblings.append(job.calibration_job())
-                for sibling in siblings:
-                    sibling_key = job_key(sibling, salt)
-                    if not store.has(sibling_key):
-                        shared_wave.setdefault(sibling_key, sibling)
-            with concurrent.futures.ProcessPoolExecutor(max_workers=jobs) as pool:
-                if shared_wave:
-                    if progress is not None:
-                        progress(f"  computing {len(shared_wave)} shared "
-                                 "artifact(s) (clean refs / distributions / "
-                                 "calibrations)")
-                    # Two phases: distribution captures first, because a
-                    # clean reference over a calibrated-uniform ADC itself
-                    # loads the capture — submitting both at once would let
-                    # two workers compute the same capture concurrently.
-                    phases = (
-                        [j for j in shared_wave.values() if j.kind == "distribution"],
-                        [j for j in shared_wave.values() if j.kind != "distribution"],
-                    )
-                    try:
-                        for phase_jobs in phases:
-                            wave = [
-                                pool.submit(
-                                    _worker_execute, job.to_dict(),
-                                    str(store.root), weights_cache_dir, salt,
-                                )
-                                for job in phase_jobs
-                            ]
-                            for future in concurrent.futures.as_completed(wave):
-                                try:
-                                    future.result()
-                                except Exception as error:  # noqa: BLE001
-                                    logger.warning(
-                                        "shared artifact failed (%s); dependent "
-                                        "jobs will fail and be logged", error,
-                                    )
-                    except KeyboardInterrupt:
-                        pool.shutdown(wait=False, cancel_futures=True)
-                        raise
-                futures = {
-                    pool.submit(
-                        _worker_execute,
-                        job.to_dict(),
-                        str(store.root),
-                        weights_cache_dir,
-                        salt,
-                        index in inject,
-                    ): (index, job)
-                    for index, job in pending
-                }
-                try:
-                    for future in concurrent.futures.as_completed(futures):
-                        index, job = futures[future]
-                        try:
-                            future.result()
-                        except Exception as error:  # noqa: BLE001
-                            try:
-                                note_failure(index, job, error)
-                            except BaseException:
-                                pool.shutdown(wait=False, cancel_futures=True)
-                                raise
-                            continue
-                        stats.computed += 1
-                        if progress is not None:
-                            progress(
-                                f"  [{stats.cached + stats.computed}/{stats.total}] "
-                                f"{job.kind} {job.label_dict}"
-                            )
-                except KeyboardInterrupt:
-                    # Completed jobs are already persisted; drop the rest and
-                    # surface the interrupt so the CLI can print a resume hint.
-                    pool.shutdown(wait=False, cancel_futures=True)
-                    raise
-
-    # Deterministic aggregation: rows come from the store in job order (so
-    # completion order / worker count / resume history cannot influence
-    # them), with each job's grid-coordinate labels merged in from the spec.
-    # Jobs whose artifact is absent (tolerated failures) contribute no row;
-    # a stored key with a stale failure entry has healed, so clear it.
-    rows = []
+    rows: List[Dict[str, object]] = []
     for job, key in zip(expanded, keys):
         if not store.has(key):
             continue
         if failure_log.has(key):
             failure_log.clear(key)
         rows.append({**job.label_dict, **store.load(key)["row"]})
-    stats.elapsed_s = time.perf_counter() - started
 
+    if stats is None:
+        stats = SweepRunStats(total=len(expanded), cached=len(rows))
+    failures = failures if failures is not None else []
     if experiment is None:
         experiment = ExperimentSpec(experiment_id=sweep.name, sweep=sweep)
     metadata = {
@@ -795,8 +706,11 @@ def run_sweep(
     }
     if failures:
         metadata["failures"] = [
-            {"index": f["index"], "key": f["key"], "kind": f["kind"],
-             "label": f["label"], "error": f["error"]}
+            {
+                "index": f["index"], "key": f["key"], "kind": f["kind"],
+                "label": f["label"], "error": f["error"],
+                **({"cause_key": f["cause_key"]} if f.get("cause_key") else {}),
+            }
             for f in failures
         ]
     record = ExperimentRecord(
@@ -810,3 +724,171 @@ def run_sweep(
         sweep=sweep, keys=keys, rows=rows, record=record, stats=stats,
         failures=failures,
     )
+
+
+def run_sweep(
+    sweep: SweepSpec,
+    store: Union[ResultStore, str, Path],
+    jobs: int = 1,
+    force: bool = False,
+    weights_cache_dir: Optional[str] = None,
+    salt: Optional[str] = None,
+    prewarm: Optional[bool] = None,
+    experiment: Optional[ExperimentSpec] = None,
+    progress: Optional[Callable[[str], None]] = None,
+    max_failures: Optional[int] = None,
+    inject_failures: Collection[int] = (),
+    executor: Union[str, Executor, None] = None,
+    shards: int = 2,
+) -> SweepRun:
+    """Execute a sweep against a result store and aggregate its table.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes of the ``process`` executor; ``1`` selects the
+        ``serial`` executor (unless ``executor`` says otherwise).
+    force:
+        Delete the sweep's existing artifacts — including every shared
+        sibling its jobs depend on (clean references, distribution
+        captures, calibration siblings) — first, recomputing everything.
+    prewarm:
+        Train workload weights in the parent before forking workers.
+        Defaults to ``executor.needs_prewarm and weights_cache_dir is not
+        None``.
+    experiment:
+        Reporting identity; defaults to one derived from the sweep name.
+    max_failures:
+        ``None`` (default): the first failing job aborts the sweep (after
+        logging it).  ``N``: tolerate up to ``N`` failed jobs — each is
+        recorded in the store's failure log and its row is absent from the
+        aggregate; failure ``N+1`` aborts with :class:`MaxFailuresExceeded`.
+        A failed job's transitive dependents are marked failed-with-cause
+        (logged with ``cause_key``) but the whole subtree consumes **one**
+        unit of the budget — the root.
+    inject_failures:
+        Job indices forced to raise instead of executing — a testing aid
+        (the CLI's ``--inject-failure``) for exercising the failure path
+        end to end.  Injected failures follow the same logging/tolerance
+        rules as real ones.
+    executor:
+        ``"serial"``, ``"process"``, ``"sharded"``, an
+        :class:`~repro.experiments.executors.Executor` instance, or
+        ``None`` for the historical default (process pool iff
+        ``jobs > 1``).
+    shards:
+        Shard count of the ``sharded`` executor (ignored otherwise).
+
+    The returned :class:`SweepRun` carries rows in expansion order; the
+    aggregate is identical whether the sweep ran serially, in parallel,
+    sharded, or across several interrupted+resumed invocations, because
+    rows are read back from the content-addressed artifacts.
+    """
+    if not isinstance(store, ResultStore):
+        store = ResultStore(store)
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    exec_instance = resolve_executor(executor, jobs=jobs, shards=shards)
+    started = time.perf_counter()
+    expanded = sweep.expand()
+    keys = [job_key(job, salt) for job in expanded]
+    failure_log = FailureLog(store)
+    failures: List[Dict[str, object]] = []
+    inject = frozenset(int(index) for index in inject_failures)
+
+    if force:
+        # Everything the sweep could recompute, shared siblings included.
+        for key in expanded_artifacts(expanded, salt):
+            store.delete(key)
+        _CLEAN_MEMO.clear()
+        _DISTRIBUTION_MEMO.clear()
+
+    pending = [
+        (index, job) for index, (job, key) in enumerate(zip(expanded, keys))
+        if not store.has(key)
+    ]
+    stats = SweepRunStats(total=len(expanded), cached=len(expanded) - len(pending))
+
+    # Dependency layer: dedupe the pending jobs and their (transitive)
+    # dependencies into one content-addressed graph.
+    graph = build_job_graph(pending, store, salt)
+    if progress is not None:
+        shared = sum(1 for node in graph if not node.indices)
+        progress(
+            f"sweep '{sweep.name}': {stats.total} jobs, {stats.cached} cached, "
+            f"{len(pending)} to run"
+            + (f" (+{shared} shared artifact(s))" if shared else "")
+            + f" [executor={exec_instance.name}, jobs={jobs}]"
+        )
+
+    root_failures = 0
+
+    def on_result(node: ScheduledJob, error: Optional[BaseException]) -> None:
+        """The failure policy: log, propagate-with-cause, enforce budget."""
+        nonlocal root_failures
+        if error is None:
+            # A success heals any stale failure entry — including those of
+            # shared dependency nodes, whose keys the grid-order clearing
+            # in aggregate_sweep never visits.
+            if failure_log.has(node.key):
+                failure_log.clear(node.key)
+            stats.computed += len(node.indices)
+            if progress is not None:
+                if node.indices:
+                    progress(f"  [{stats.cached + stats.computed}/{stats.total}] "
+                             f"{node.describe()}")
+                else:
+                    progress(f"  shared {node.describe()}")
+            return
+        propagated = isinstance(error, UpstreamFailed)
+        cause_key = getattr(error, "cause_key", None)
+        # Shard subprocesses persist their own entries (with the real
+        # traceback); re-use those instead of overwriting them with a
+        # summary exception.
+        already_logged = bool(getattr(error, "logged", False))
+        if already_logged and failure_log.has(node.key):
+            entry = failure_log.load(node.key)
+        else:
+            entry = failure_log.record(
+                node.key, node.job, error, index=node.index, cause_key=cause_key
+            )
+        failures.append(entry)
+        stats.failed += 1
+        if progress is not None:
+            index_text = "-" if node.index is None else str(node.index)
+            progress(f"  FAILED [{index_text}] {node.describe()}: "
+                     f"{entry['error']} (logged to {failure_log.path(node.key)})")
+        if propagated:
+            return  # the root already consumed its unit of the budget
+        root_failures += 1
+        if max_failures is None:
+            raise error
+        if root_failures > max_failures:
+            propagated_count = stats.failed - root_failures
+            raise MaxFailuresExceeded(
+                f"sweep '{sweep.name}' exceeded max_failures={max_failures} "
+                f"({root_failures} root failure(s)"
+                + (f" + {propagated_count} propagated dependent(s)"
+                   if propagated_count else "")
+                + f"; see {failure_log.root})"
+            ) from error
+
+    if len(graph):
+        if prewarm is None:
+            prewarm = exec_instance.needs_prewarm and weights_cache_dir is not None
+        if prewarm:
+            prewarm_workloads([node.job for node in graph], weights_cache_dir, progress)
+        context = ExecutionContext(
+            store=store,
+            weights_cache_dir=weights_cache_dir,
+            salt=salt,
+            inject=inject,
+        )
+        execute_graph(graph, exec_instance, context, on_result, progress)
+
+    run = aggregate_sweep(
+        sweep, store, salt=salt, experiment=experiment,
+        stats=stats, failures=failures, expanded=expanded, keys=keys,
+    )
+    stats.elapsed_s = time.perf_counter() - started
+    return run

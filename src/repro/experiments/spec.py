@@ -538,6 +538,32 @@ class JobSpec:
     def canonical(self) -> str:
         return canonical_json(self.resolved())
 
+    def dependencies(self) -> List["JobSpec"]:
+        """The sibling jobs whose stored artifacts this job loads.
+
+        *Direct* dependencies only — the scheduler
+        (:mod:`repro.experiments.scheduler`) takes the transitive closure,
+        so e.g. a Monte Carlo job over a calibrated-uniform ADC reaches its
+        distribution capture both directly and through its clean reference
+        (which itself depends on the capture), and the graph dedupes the two
+        paths into one node.
+
+        This is the single declarative source of the sweep-level dependency
+        structure: the runner used to hard-code the same enumeration inline.
+        """
+        deps: List[JobSpec] = []
+        if self.kind == "monte_carlo":
+            deps.append(self.clean_job())
+        if (
+            self.kind in ("evaluate", "monte_carlo")
+            and self.datapath == "pim"
+            and self.adc.needs_distributions
+        ):
+            deps.append(self.distribution_job())
+        if self.kind == "power":
+            deps.append(self.calibration_job())
+        return deps
+
     def clean_job(self) -> "JobSpec":
         """The deterministic reference job shared by Monte Carlo siblings.
 

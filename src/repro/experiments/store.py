@@ -39,7 +39,7 @@ import json
 import os
 import traceback as traceback_module
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Union
+from typing import Dict, Iterable, Iterator, List, Optional, Union
 
 import numpy as np
 
@@ -177,8 +177,14 @@ class FailureLog:
         job: JobSpec,
         error: BaseException,
         index: Optional[int] = None,
+        cause_key: Optional[str] = None,
     ) -> Dict[str, object]:
-        """Persist one failure; returns the logged entry."""
+        """Persist one failure; returns the logged entry.
+
+        ``cause_key`` marks a *propagated* failure: the job did not run
+        because the artifact at ``cause_key`` failed upstream.  Retrying
+        the root heals the whole subtree (successful reruns clear entries).
+        """
         entry = {
             "key": key,
             "index": index,
@@ -191,6 +197,8 @@ class FailureLog:
             ),
             "logged_at": datetime.datetime.now(datetime.timezone.utc).isoformat(),
         }
+        if cause_key is not None:
+            entry["cause_key"] = cause_key
         self.root.mkdir(parents=True, exist_ok=True)
         path = self.path(key)
         text = json.dumps(entry, indent=2, sort_keys=True)
@@ -214,3 +222,44 @@ class FailureLog:
             self.path(key).unlink()
         except FileNotFoundError:
             pass
+
+    # ------------------------------------------------------------------ #
+    def age_seconds(self, key: str, now: Optional[float] = None) -> Optional[float]:
+        """Seconds since the entry was logged (``None`` if unparsable).
+
+        ``now`` is a UNIX timestamp override for deterministic tests.
+        """
+        try:
+            logged_at = datetime.datetime.fromisoformat(
+                str(self.load(key).get("logged_at"))
+            )
+        except (OSError, ValueError, json.JSONDecodeError):
+            return None
+        if now is None:
+            now = datetime.datetime.now(datetime.timezone.utc).timestamp()
+        return now - logged_at.timestamp()
+
+    def expire(
+        self,
+        max_age_seconds: float,
+        now: Optional[float] = None,
+        keys: Optional[Iterable[str]] = None,
+    ) -> List[str]:
+        """Drop entries older than ``max_age_seconds``; returns their keys.
+
+        ``keys`` restricts the expiry to those entries (the CLI passes the
+        shown sweep's artifact keys so one sweep's cleanup cannot destroy
+        another's tracebacks in a shared store); ``None`` sweeps the whole
+        log.  Entries whose timestamp cannot be parsed are left alone (they
+        still describe an unresolved failure, just with a damaged clock).
+        """
+        candidates = list(self.keys()) if keys is None else [
+            key for key in keys if self.has(key)
+        ]
+        dropped: List[str] = []
+        for key in candidates:
+            age = self.age_seconds(key, now=now)
+            if age is not None and age > max_age_seconds:
+                self.clear(key)
+                dropped.append(key)
+        return dropped

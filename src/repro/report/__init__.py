@@ -12,6 +12,7 @@ from repro.report.figures import (
     fig7_power_record,
     fig7_record_from_run,
     figure_records_from_run,
+    record_to_ascii,
     record_to_csv,
     record_to_markdown,
     render_figure_outputs,
@@ -37,6 +38,7 @@ __all__ = [
     "fig7_power_record",
     "fig7_record_from_run",
     "figure_records_from_run",
+    "record_to_ascii",
     "record_to_csv",
     "record_to_markdown",
     "render_figure_outputs",

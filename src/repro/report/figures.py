@@ -29,7 +29,13 @@ from typing import Dict, List, Mapping, Optional, Sequence, Union
 import numpy as np
 
 from repro.report.experiments import ExperimentRecord
-from repro.report.tables import format_cell, histogram_rows, union_columns
+from repro.report.tables import (
+    ascii_bar_chart,
+    format_cell,
+    format_table,
+    histogram_rows,
+    union_columns,
+)
 
 
 def fig3a_distribution_record(
@@ -302,6 +308,77 @@ def record_to_markdown(record: ExperimentRecord) -> str:
     return "\n".join(lines)
 
 
+#: Per-record-stem (label column, value column) picks for the ASCII charts;
+#: records not listed fall back to the first string + first numeric column.
+_ASCII_CHART_COLUMNS = {
+    "fig6a": ("config", "accuracy"),
+    "fig6b": ("config", "accuracy"),
+    "fig6c": ("workload", "remaining_fraction"),
+    "fig7": ("config", "total_J"),
+}
+
+
+def _ascii_chart_columns(record: ExperimentRecord):
+    stem = record.experiment_id.split("_")[0]
+    preferred = _ASCII_CHART_COLUMNS.get(stem)
+    columns = union_columns(record.rows)
+    if preferred and all(c in columns for c in preferred):
+        return preferred
+    label = next(
+        (c for c in columns
+         if any(isinstance(row.get(c), str) for row in record.rows)),
+        columns[0] if columns else None,
+    )
+    value = next(
+        (c for c in columns
+         if c != label
+         and any(isinstance(row.get(c), (int, float)) for row in record.rows)),
+        None,
+    )
+    return (label, value) if label is not None and value is not None else None
+
+
+def record_to_ascii(record: ExperimentRecord, width: int = 40) -> str:
+    """A terminal rendering of one figure record: bar charts + the table.
+
+    Rows are grouped by workload when a ``workload`` column exists (one
+    chart per workload, mirroring the paper's per-workload panels); the
+    bar value/label columns are figure-aware with a generic fallback, and
+    the full aligned table follows so no column is lost to the chart.
+    """
+    lines = [
+        f"# {record.experiment_id}: {record.description}",
+        f"paper: {record.paper_reference}",
+        "",
+    ]
+    picked = _ascii_chart_columns(record)
+    if record.rows and picked is not None:
+        label_col, value_col = picked
+        groups: Dict[str, Dict[str, float]] = {}
+        for row in record.rows:
+            value = row.get(value_col)
+            # Guard each cell: the picker accepts a column when ANY row is
+            # numeric, but a sparse/mixed column must skip (not crash on)
+            # its non-numeric cells.
+            if label_col not in row or isinstance(value, bool) \
+                    or not isinstance(value, (int, float)):
+                continue
+            group = str(row["workload"]) if "workload" in row else ""
+            if label_col == "workload":
+                group = ""
+            groups.setdefault(group, {})[str(row[label_col])] = float(value)
+        for group, series in groups.items():
+            if group:
+                lines.append(f"{group} ({value_col}):")
+            else:
+                lines.append(f"{value_col}:")
+            lines.append(ascii_bar_chart(series, width=width))
+            lines.append("")
+    lines.append(format_table(record.rows) if record.rows else "(no rows)")
+    lines.append("")
+    return "\n".join(lines)
+
+
 def record_to_csv(record: ExperimentRecord) -> str:
     """A CSV rendering of one experiment record's rows."""
     columns = union_columns(record.rows)
@@ -347,7 +424,9 @@ def render_figure_outputs(
 
     The shared reporting path of the ``bench_fig*.py`` shims, the CLI
     (``run --preset fig*``) and CI; returns the written paths.  Unknown
-    experiment ids write nothing.
+    experiment ids write nothing.  Add ``"ascii"`` to ``formats`` (the
+    shims' and CLI's ``--ascii`` flag) for a ``<stem>.txt`` terminal
+    rendering — per-workload bar charts plus the aligned table.
     """
     out_dir = Path(out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
@@ -362,5 +441,9 @@ def render_figure_outputs(
         if "csv" in formats:
             path = out_dir / f"{stem}.csv"
             path.write_text(record_to_csv(record))
+            written.append(path)
+        if "ascii" in formats:
+            path = out_dir / f"{stem}.txt"
+            path.write_text(record_to_ascii(record))
             written.append(path)
     return written

@@ -217,3 +217,29 @@ class TestEmitters:
         header, first = csv_text.splitlines()[:2]
         assert header.startswith("workload,")
         assert first.startswith(f"{TINY.name},")
+
+    def test_ascii_output_renders_bar_charts(self, weights_cache, tmp_path):
+        """The --ascii format: render_figure_outputs writes a <stem>.txt
+        with bar charts (the once-unused ascii_bar_chart, now wired in)."""
+        from repro.report import record_to_ascii, render_figure_outputs
+
+        experiment = fig6c(workloads=[TINY], images=EVAL_IMAGES)
+        store = ResultStore(tmp_path / "store")
+        run = run_sweep(experiment.sweep, store,
+                        weights_cache_dir=weights_cache, experiment=experiment)
+        record = fig6c_record_from_run(run, store)
+        text = record_to_ascii(record)
+        assert text.startswith("# fig6c:")
+        assert "#" in text.splitlines()[4]  # a bar of the chart
+        assert "remaining_fraction" in text
+
+        written = render_figure_outputs(
+            "fig6c", run, store, tmp_path / "out",
+            formats=("json", "md", "csv", "ascii"),
+        )
+        txt = [p for p in written if p.suffix == ".txt"]
+        assert len(txt) == 1 and txt[0].name == "fig6c.txt"
+        assert txt[0].read_text() == text
+        # the default format set stays unchanged (no .txt unless asked)
+        default = render_figure_outputs("fig6c", run, store, tmp_path / "out2")
+        assert not [p for p in default if p.suffix == ".txt"]
