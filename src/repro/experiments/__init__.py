@@ -42,6 +42,7 @@ from repro.experiments.runner import (
     execute_job,
     prewarm_workloads,
     run_sweep,
+    worker_name,
 )
 from repro.experiments.scheduler import (
     JobGraph,
@@ -109,5 +110,6 @@ __all__ = [
     "resolve_executor",
     "run_shard_manifest",
     "run_sweep",
+    "worker_name",
     "write_shard_manifests",
 ]

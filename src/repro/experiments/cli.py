@@ -73,6 +73,15 @@ from repro.experiments.store import (
     code_version_salt,
     job_key,
 )
+from repro.telemetry import analysis as trace_analysis
+from repro.telemetry.tracer import (
+    latest_run,
+    list_runs,
+    load_run_manifest,
+    run_directory,
+    stream_paths,
+)
+from repro.utils.logging import set_verbosity, verbosity_to_level
 
 DEFAULT_STORE = Path("benchmarks") / "results" / "store"
 DEFAULT_CACHE = Path("benchmarks") / ".cache"
@@ -117,6 +126,42 @@ def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
                         help="seconds-fast smoke variant of a preset")
 
 
+def _add_verbosity_arguments(
+    parser: argparse.ArgumentParser, subparser: bool = True
+) -> None:
+    """``-v/-vv/-q`` on a (sub)parser, wired to ``set_verbosity`` in main.
+
+    The main parser carries the real defaults; subparsers use
+    ``argparse.SUPPRESS`` so the flag works on either side of the
+    subcommand (``-v run ...`` and ``run ... -v``) without the
+    subparser's default clobbering a main-side flag.
+    """
+    default: object = argparse.SUPPRESS if subparser else 0
+    parser.add_argument("-v", "--verbose", action="count", default=default,
+                        help="library log verbosity: -v progress (INFO), "
+                             "-vv per-job detail (DEBUG)")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        default=argparse.SUPPRESS if subparser else False,
+                        help="errors only")
+
+
+def _add_trace_selection_arguments(parser: argparse.ArgumentParser) -> None:
+    """How ``trace`` subcommands pick a run: newest, by id, or by path."""
+    parser.add_argument("--store", type=Path, default=DEFAULT_STORE,
+                        help="result store whose telemetry/ directory to "
+                             f"read (default {DEFAULT_STORE})")
+    parser.add_argument("--run", default=None, metavar="RUN_ID",
+                        help="run id under <store>/telemetry/ (default: "
+                             "the newest run)")
+    parser.add_argument("--sweep", default=None, metavar="NAME",
+                        help="restrict the default (newest-run) selection "
+                             "to runs of this sweep")
+    parser.add_argument("--dir", type=Path, default=None, metavar="DIR",
+                        help="explicit trace run directory (overrides "
+                             "--store/--run; what `shard run --trace-dir` "
+                             "wrote)")
+
+
 def _default_out_path(experiment_id: str) -> Path:
     """The canonical aggregate path of an experiment — shared by ``run``
     and ``shard merge`` so the two default outputs always coincide.
@@ -150,14 +195,16 @@ def build_parser() -> argparse.ArgumentParser:
         epilog="See docs/experiments.md for the spec/store/runner model and "
                "docs/reproducing-figures.md for the paper-figure presets.",
     )
+    _add_verbosity_arguments(parser, subparser=False)
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser(
+    listing = sub.add_parser(
         "list",
         help="list built-in experiment presets",
         epilog="Preset factories live in repro/experiments/presets.py; each "
                "has a --smoke variant sized for CI.",
     )
+    _add_verbosity_arguments(listing)
 
     show = sub.add_parser(
         "show",
@@ -170,6 +217,7 @@ def build_parser() -> argparse.ArgumentParser:
                "inspect that run's state.",
     )
     _add_spec_arguments(show)
+    _add_verbosity_arguments(show)
     show.add_argument("--store", type=Path, default=DEFAULT_STORE,
                       help=f"result store to check against (default {DEFAULT_STORE})")
     show.add_argument("--expire-failures", type=float, default=None,
@@ -192,6 +240,11 @@ def build_parser() -> argparse.ArgumentParser:
                "directory.",
     )
     _add_spec_arguments(run)
+    _add_verbosity_arguments(run)
+    run.add_argument("--trace", action="store_true",
+                     help="record sweep telemetry (JSONL event streams) to "
+                          "<store>/telemetry/<run id>/; inspect with the "
+                          "'trace' subcommands")
     run.add_argument("--jobs", type=int, default=1,
                      help="parallel worker processes (default 1: in-process)")
     run.add_argument("--executor", choices=EXECUTOR_NAMES, default=None,
@@ -241,6 +294,7 @@ def build_parser() -> argparse.ArgumentParser:
     emit = shard_sub.add_parser(
         "emit", help="write N shard manifests for a sweep")
     _add_spec_arguments(emit)
+    _add_verbosity_arguments(emit)
     emit.add_argument("--shards", type=int, default=2, metavar="N",
                       help="number of manifests to emit (default 2)")
     emit.add_argument("--dir", type=Path, default=DEFAULT_SHARD_DIR,
@@ -251,6 +305,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     shard_run = shard_sub.add_parser(
         "run", help="execute one shard manifest against the store")
+    _add_verbosity_arguments(shard_run)
     shard_run.add_argument("manifest", type=Path, help="shard manifest path")
     shard_run.add_argument("--store", type=Path, default=DEFAULT_STORE,
                            help=f"result store directory (default {DEFAULT_STORE})")
@@ -259,9 +314,15 @@ def build_parser() -> argparse.ArgumentParser:
     shard_run.add_argument("--result", type=Path, default=None,
                            help="per-job status output "
                                 "(default <manifest stem>.result.json)")
+    shard_run.add_argument("--trace-dir", type=Path, default=None,
+                           metavar="DIR",
+                           help="append this shard's telemetry stream to the "
+                                "trace run directory DIR (shards of one run "
+                                "share a DIR; inspect with 'trace ... --dir')")
 
     merge = shard_sub.add_parser(
         "merge", help="merge shard results into the sweep aggregate")
+    _add_verbosity_arguments(merge)
     merge.add_argument("manifests", type=Path, nargs="+",
                        help="shard manifest paths, or a directory of them")
     merge.add_argument("--store", type=Path, default=DEFAULT_STORE,
@@ -269,6 +330,60 @@ def build_parser() -> argparse.ArgumentParser:
     merge.add_argument("--out", type=Path, default=None,
                        help="aggregate record path "
                             f"(default {DEFAULT_OUT_DIR}/<experiment>.json)")
+
+    trace = sub.add_parser(
+        "trace",
+        help="inspect recorded sweep telemetry",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog="Telemetry runs live under <store>/telemetry/<run id>/ — one "
+               "JSONL event stream per participating process, written by "
+               "'run --trace' (or 'shard run --trace-dir').  'list' "
+               "enumerates runs, 'show' prints the merged time-ordered "
+               "event stream, 'summary' the reconstructed timeline "
+               "(utilization, stragglers, cache efficiency), and "
+               "'critical-path' the dependency chain that bounded the "
+               "sweep's wall-clock.  See docs/observability.md.",
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    trace_list = trace_sub.add_parser(
+        "list", help="list a store's recorded trace runs")
+    _add_verbosity_arguments(trace_list)
+    trace_list.add_argument("--store", type=Path, default=DEFAULT_STORE,
+                            help="result store whose telemetry/ directory to "
+                                 f"list (default {DEFAULT_STORE})")
+
+    trace_show = trace_sub.add_parser(
+        "show", help="print a run's merged JSONL event stream")
+    _add_verbosity_arguments(trace_show)
+    _add_trace_selection_arguments(trace_show)
+    trace_show.add_argument("--event", action="append", default=None,
+                            metavar="NAME",
+                            help="only events of this name (repeatable)")
+    trace_show.add_argument("--limit", type=int, default=None, metavar="N",
+                            help="print only the first N matching events")
+
+    trace_summary = trace_sub.add_parser(
+        "summary",
+        help="summarise a run: jobs, waves, utilization, stragglers, cache")
+    _add_verbosity_arguments(trace_summary)
+    _add_trace_selection_arguments(trace_summary)
+    trace_summary.add_argument("--straggler-factor", type=float, default=2.0,
+                               metavar="F",
+                               help="flag a worker when its per-wave busy "
+                                    "time exceeds F x the wave median "
+                                    "(default 2.0)")
+    trace_summary.add_argument("--straggler-min-gap", type=float, default=5.0,
+                               metavar="SECONDS",
+                               help="...and the absolute gap exceeds SECONDS "
+                                    "(default 5.0; keeps seconds-fast smoke "
+                                    "runs quiet)")
+
+    trace_cp = trace_sub.add_parser(
+        "critical-path",
+        help="print the executed dependency chain that bounded wall-clock")
+    _add_verbosity_arguments(trace_cp)
+    _add_trace_selection_arguments(trace_cp)
     return parser
 
 
@@ -280,6 +395,25 @@ def _cmd_list() -> int:
         figure = "  [figure]" if name in FIGURE_PRESETS else ""
         print(f"  {name:28s} {experiment.description}  [smoke: {jobs} jobs]{figure}")
     return 0
+
+
+def _show_sweep_telemetry(store: ResultStore, sweep_name: str) -> None:
+    """``show``'s sweep-level timing block, from the newest trace run.
+
+    Quietly degrades when the sweep has never run with ``--trace`` — the
+    store itself records nothing about elapsed time.
+    """
+    directory = latest_run(store.root, sweep=sweep_name)
+    if directory is None:
+        print("telemetry: none recorded for this sweep "
+              "(run with --trace to capture timings)")
+        return
+    run = trace_analysis.load_run(directory)
+    elapsed = run.elapsed_s()
+    print(f"telemetry ({directory.name}):"
+          + (f" elapsed {elapsed:.2f}s" if elapsed is not None else ""))
+    for stats in trace_analysis.wave_stats(run):
+        print(_format_wave_line(stats))
 
 
 def _cmd_show(args: argparse.Namespace) -> int:
@@ -306,14 +440,24 @@ def _cmd_show(args: argparse.Namespace) -> int:
     for index, job in enumerate(jobs):
         key = job_key(job)
         grid_keys.add(key)
+        timing = ""
         if store.has(key):
             status = "stored"
+            # Execution metadata lives out-of-band (<store>/meta/): how a
+            # result was produced, never part of what was produced.
+            meta = store.load_meta(key)
+            if meta.get("duration_s") is not None:
+                timing = f"  [{float(meta['duration_s']):.2f}s"
+                if meta.get("worker"):
+                    timing += f" @ {meta['worker']}"
+                timing += "]"
         elif failure_log.has(key):
             status = "FAILED"
             failed_keys.append(key)
         else:
             status = "pending"
-        print(f"  {index:3d} {key[:16]} {status:7s} {job.kind:12s} {job.label_dict}")
+        print(f"  {index:3d} {key[:16]} {status:7s} {job.kind:12s} "
+              f"{job.label_dict}{timing}")
     # Shared dependency artifacts (clean references, distribution captures,
     # calibration siblings) are not grid points, but a failed one is the
     # *root cause* of its dependents' failed-with-cause entries — surface
@@ -325,6 +469,7 @@ def _cmd_show(args: argparse.Namespace) -> int:
             continue
         failed_keys.append(key)
         print(f"    - {key[:16]} FAILED  {job.kind:12s} (shared dependency)")
+    _show_sweep_telemetry(store, experiment.sweep.name)
     for key in failed_keys:
         entry = failure_log.load(key)
         age = _format_age(failure_log.age_seconds(key))
@@ -367,6 +512,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             inject_failures=args.inject_failure or (),
             executor=args.executor,
             shards=args.shards,
+            trace=args.trace,
         )
     except KeyboardInterrupt:
         print(
@@ -406,6 +552,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"{len(run.failures)} tolerated failure(s) logged under "
             f"{FailureLog(store).root}; surface them with: {show_hint}"
         )
+    if run.telemetry_dir:
+        run_id = Path(run.telemetry_dir).name
+        print(f"telemetry: {run.telemetry_dir}")
+        print("inspect: python -m repro.experiments trace summary "
+              f"--store {store.root} --run {run_id}")
     return 0
 
 
@@ -438,6 +589,7 @@ def _cmd_shard_run(args: argparse.Namespace) -> int:
           f"(salt {manifest['salt']})")
     statuses = run_shard_manifest(
         manifest, store, weights_cache_dir=str(args.cache_dir), progress=print,
+        trace_dir=args.trace_dir,
     )
     result_path = args.result or manifest_result_path(args.manifest)
     result_path.parent.mkdir(parents=True, exist_ok=True)
@@ -565,8 +717,172 @@ def _cmd_shard_merge(args: argparse.Namespace) -> int:
     return 0
 
 
+# --------------------------------------------------------------------- #
+# Trace subcommands
+# --------------------------------------------------------------------- #
+def _resolve_trace_run(args: argparse.Namespace) -> trace_analysis.TraceRun:
+    """Pick the trace run a ``trace`` subcommand operates on."""
+    if args.dir is not None:
+        directory = args.dir
+        if not Path(directory).is_dir():
+            raise SystemExit(f"no trace run directory at {directory}")
+    elif args.run is not None:
+        directory = run_directory(args.store, args.run)
+        if not Path(directory).is_dir():
+            raise SystemExit(
+                f"no trace run '{args.run}' under {args.store}/telemetry "
+                "(see: python -m repro.experiments trace list)"
+            )
+    else:
+        found = latest_run(args.store, sweep=args.sweep)
+        if found is None:
+            raise SystemExit(
+                "no telemetry recorded"
+                + (f" for sweep '{args.sweep}'" if args.sweep else "")
+                + f" under {args.store}/telemetry — record a run with "
+                "'run ... --trace'"
+            )
+        directory = found
+    run = trace_analysis.load_run(directory)
+    if not run.events:
+        raise SystemExit(f"trace run {directory} holds no events")
+    return run
+
+
+def _cmd_trace_list(args: argparse.Namespace) -> int:
+    runs = list_runs(args.store)
+    if not runs:
+        print(f"no telemetry recorded under {args.store}/telemetry "
+              "(record a run with 'run ... --trace')")
+        return 0
+    print(f"{len(runs)} trace run(s) under {args.store}/telemetry:")
+    for directory in runs:
+        manifest = load_run_manifest(directory)
+        streams = len(stream_paths(directory))
+        descriptor = (
+            f"sweep={manifest['sweep']} executor={manifest.get('executor', '?')}"
+            if manifest.get("sweep")
+            else "(no run manifest — standalone shard streams)"
+        )
+        print(f"  {directory.name}  {descriptor}  [{streams} stream(s)]")
+    print("\ninspect one: python -m repro.experiments trace summary "
+          f"--store {args.store} --run <id>")
+    return 0
+
+
+def _cmd_trace_show(args: argparse.Namespace) -> int:
+    run = _resolve_trace_run(args)
+    wanted = set(args.event) if args.event else None
+    shown = 0
+    for event in run.events:
+        if wanted is not None and event.get("event") not in wanted:
+            continue
+        print(json.dumps(event, sort_keys=True))
+        shown += 1
+        if args.limit is not None and shown >= args.limit:
+            break
+    return 0
+
+
+def _format_wave_line(stats: trace_analysis.WaveStats) -> str:
+    wave = "?" if stats.wave is None else str(stats.wave)
+    return (f"  wave {wave}: {stats.jobs} job(s) on {stats.streams} "
+            f"stream(s), span {stats.span_s:.2f}s, busy {stats.busy_s:.2f}s, "
+            f"utilization {stats.utilization * 100:.0f}%")
+
+
+def _cmd_trace_summary(args: argparse.Namespace) -> int:
+    run = _resolve_trace_run(args)
+    summary = trace_analysis.summarize(run)
+    stragglers = trace_analysis.find_stragglers(
+        run, factor=args.straggler_factor, min_gap_s=args.straggler_min_gap
+    )
+    print(f"trace run: {summary['run_id']}")
+    print(f"directory: {run.directory}")
+    if summary.get("sweep"):
+        manifest = run.manifest
+        print(f"sweep: {manifest.get('sweep')} "
+              f"(executor={manifest.get('executor', '?')}, "
+              f"jobs={manifest.get('jobs', '?')})")
+    print(f"events: {summary['events']} across {summary['streams']} stream(s)")
+    print(f"jobs executed: {summary['executed']} "
+          f"({summary['ok']} ok, {summary['failed']} failed)")
+    if summary["upstream_failed"]:
+        print(f"jobs skipped on upstream failure: {summary['upstream_failed']}")
+    if summary["duplicates"]:
+        print(f"duplicate executions (racing shards): "
+              f"{len(summary['duplicates'])} key(s)")
+    cache = summary["cache"]
+    print(f"cache: {cache['hits']:.0f} hit(s), "
+          f"{cache['executed']:.0f} computed, "
+          f"hit rate {cache['hit_rate'] * 100:.0f}%")
+    if summary["elapsed_s"] is not None:
+        print(f"elapsed: {summary['elapsed_s']:.2f}s")
+    chain = summary["critical_path"]
+    if chain:
+        fraction = summary["critical_path_fraction"]
+        print(f"critical path: {len(chain)} job(s), "
+              f"{summary['critical_path_s']:.2f}s"
+              + (f" ({fraction * 100:.0f}% of elapsed)"
+                 if fraction is not None else ""))
+    for stats in summary["waves"]:
+        print(_format_wave_line(stats))
+    if summary["kinds"]:
+        print("per-kind durations:")
+        for kind, hist in summary["kinds"].items():
+            print(f"  {kind:12s} n={hist['count']:.0f} "
+                  f"total {hist['total_s']:.2f}s  mean {hist['mean_s']:.3f}s  "
+                  f"[{hist['min_s']:.3f}s .. {hist['max_s']:.3f}s]")
+    print(f"stragglers: {len(stragglers)}")
+    for straggler in stragglers:
+        wave = "?" if straggler.wave is None else str(straggler.wave)
+        shard = f" (shard {straggler.shard})" if straggler.shard is not None else ""
+        print(f"  wave {wave}: stream {straggler.stream}{shard} busy "
+              f"{straggler.busy_s:.2f}s vs median {straggler.median_busy_s:.2f}s "
+              f"over {straggler.jobs} job(s)")
+    return 0
+
+
+def _cmd_trace_critical_path(args: argparse.Namespace) -> int:
+    run = _resolve_trace_run(args)
+    chain = trace_analysis.critical_path(run)
+    if not chain:
+        print("critical path: empty (no executed jobs in this trace)")
+        return 0
+    total = sum(e.duration_s or 0.0 for e in chain)
+    elapsed = run.elapsed_s()
+    print(f"critical path: {len(chain)} job(s), {total:.2f}s total"
+          + (f" ({total / elapsed * 100:.0f}% of elapsed {elapsed:.2f}s)"
+             if elapsed else ""))
+    for position, execution in enumerate(chain, start=1):
+        wave = "?" if execution.wave is None else str(execution.wave)
+        duration = (
+            f"{execution.duration_s:.3f}s" if execution.duration_s is not None
+            else "?"
+        )
+        marker = "" if execution.outcome == "computed" else f"  [{execution.outcome}]"
+        print(f"  {position:2d}. {execution.key[:16]}  "
+              f"{execution.kind:12s} wave {wave:>2s}  {duration}{marker}")
+    print("(each job waited on the one above it; no schedule can beat the "
+          "chain's summed duration without changing the jobs)")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.trace_command == "list":
+        return _cmd_trace_list(args)
+    if args.trace_command == "show":
+        return _cmd_trace_show(args)
+    if args.trace_command == "summary":
+        return _cmd_trace_summary(args)
+    return _cmd_trace_critical_path(args)
+
+
 def main(argv: Optional[list] = None) -> int:
     args = build_parser().parse_args(argv)
+    set_verbosity(verbosity_to_level(
+        getattr(args, "verbose", 0) or 0, getattr(args, "quiet", False)
+    ))
     if args.command == "list":
         return _cmd_list()
     if args.command == "show":
@@ -577,4 +893,6 @@ def main(argv: Optional[list] = None) -> int:
         if args.shard_command == "run":
             return _cmd_shard_run(args)
         return _cmd_shard_merge(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     return _cmd_run(args)

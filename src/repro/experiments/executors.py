@@ -41,12 +41,15 @@ import os
 import subprocess
 import sys
 import tempfile
+import time
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.experiments.scheduler import ScheduledJob, UpstreamFailed
 from repro.experiments.spec import ExperimentSpec, JobSpec, SweepSpec
 from repro.experiments.store import ResultStore, code_version_salt, job_key
+from repro.telemetry import events as telemetry_events
+from repro.telemetry.tracer import NULL_TRACER, Tracer, process_tracer
 from repro.utils.logging import get_logger
 
 logger = get_logger("experiments.executors")
@@ -74,15 +77,64 @@ class ShardJobFailed(RuntimeError):
 
 @dataclasses.dataclass
 class ExecutionContext:
-    """Everything an executor needs to run jobs against one store."""
+    """Everything an executor needs to run jobs against one store.
+
+    The telemetry fields travel in two forms: ``tracer`` is the *live*
+    tracer of the driving process (never pickled — executors that fan out
+    to other processes must not ship it), while ``trace_dir`` /
+    ``trace_run_id`` are the plain-string coordinates a worker or shard
+    subprocess uses to open its **own** stream in the same run directory.
+    ``wave`` is maintained by :func:`repro.experiments.runner.execute_graph`
+    as it walks the topology; ``wave_override`` pins it instead when this
+    context executes one wave of a *parent* graph (a ``ShardedExecutor``
+    child), so shard-local wave numbering never shadows the parent's and
+    wave lifecycle events are not emitted twice.
+    """
 
     store: ResultStore
     weights_cache_dir: Optional[str] = None
     salt: Optional[str] = None
     inject: frozenset = frozenset()
+    tracer: Tracer = NULL_TRACER
+    trace_dir: Optional[str] = None
+    trace_run_id: Optional[str] = None
+    wave: Optional[int] = None
+    shard: Optional[int] = None
+    wave_override: Optional[int] = None
 
     def should_inject(self, node: ScheduledJob) -> bool:
         return any(index in self.inject for index in node.indices)
+
+    # ------------------------------------------------------------------ #
+    def job_trace_fields(
+        self, node: ScheduledJob, submitted_mono: Optional[float] = None
+    ) -> Dict[str, object]:
+        """The per-job event fields for an in-process ``execute_job`` call."""
+        return {
+            "index": node.index,
+            "wave": self.wave,
+            "shard": self.shard,
+            "deps": list(node.dependencies),
+            "submitted_mono": submitted_mono,
+        }
+
+    def worker_trace(
+        self, node: ScheduledJob, submitted_mono: Optional[float] = None
+    ) -> Optional[Dict[str, object]]:
+        """The picklable trace handle for an out-of-process worker.
+
+        ``None`` when the run is untraced — workers then skip telemetry
+        entirely.  ``submitted_mono`` lets the worker compute its
+        ``queue_wait_s`` (its clock and ours are the same
+        ``CLOCK_MONOTONIC``).
+        """
+        if self.trace_dir is None:
+            return None
+        return {
+            "dir": self.trace_dir,
+            "run_id": self.trace_run_id,
+            **self.job_trace_fields(node, submitted_mono=submitted_mono),
+        }
 
 
 def _injected_error(job: JobSpec) -> RuntimeError:
@@ -167,12 +219,17 @@ class SerialExecutor(Executor):
     ) -> Iterator[WaveOutcome]:
         from repro.experiments.runner import execute_job  # lazy: cycle
 
+        # The whole wave is "submitted" when it is handed over, so a serial
+        # job's queue wait honestly includes its predecessors' run time.
+        submitted = time.monotonic()
         for node in wave:
             try:
                 if context.should_inject(node):
                     raise _injected_error(node.job)
                 execute_job(
-                    node.job, context.store, context.weights_cache_dir, context.salt
+                    node.job, context.store, context.weights_cache_dir, context.salt,
+                    tracer=context.tracer,
+                    trace_fields=context.job_trace_fields(node, submitted_mono=submitted),
                 )
             except KeyboardInterrupt:
                 raise
@@ -227,6 +284,7 @@ class ProcessPoolExecutor(Executor):
 
         if self._pool is None:
             raise RuntimeError("ProcessPoolExecutor used outside its context")
+        submitted = time.monotonic()
         futures = {
             self._pool.submit(
                 _worker_execute,
@@ -235,6 +293,7 @@ class ProcessPoolExecutor(Executor):
                 context.weights_cache_dir,
                 context.salt,
                 context.should_inject(node),
+                context.worker_trace(node, submitted_mono=submitted),
             ): node
             for node in wave
         }
@@ -279,6 +338,7 @@ def shard_manifest_dict(
     salt: Optional[str] = None,
     sweep: Optional[SweepSpec] = None,
     experiment: Optional[ExperimentSpec] = None,
+    telemetry: Optional[Dict[str, object]] = None,
 ) -> Dict[str, object]:
     """The JSON manifest of one shard: a job-key list plus the specs.
 
@@ -287,7 +347,10 @@ def shard_manifest_dict(
     same artifacts; the sweep spec and experiment identity are included
     when known so ``shard merge`` can rebuild the full aggregate —
     byte-identical to a single-process ``run`` — without the original
-    command line.
+    command line.  ``telemetry`` (``{"dir", "run_id", "wave"}``) tells the
+    ``shard run`` subprocess to append its own event stream to the
+    parent's trace run — ``wave`` pins the parent's wave number so the
+    shard's jobs attribute to the wave that scheduled them.
     """
     manifest: Dict[str, object] = {
         "format": SHARD_MANIFEST_FORMAT,
@@ -304,6 +367,10 @@ def shard_manifest_dict(
             for index, job, inject in entries
         ],
     }
+    if telemetry is not None:
+        manifest["telemetry"] = {
+            key: value for key, value in telemetry.items() if value is not None
+        }
     if sweep is not None:
         manifest["sweep"] = sweep.to_dict()
     if experiment is not None:
@@ -369,6 +436,7 @@ def run_shard_manifest(
     store: ResultStore,
     weights_cache_dir: Optional[str] = None,
     progress=None,
+    trace_dir: Optional[Union[str, Path]] = None,
 ) -> List[Dict[str, object]]:
     """Execute one shard manifest's jobs serially against ``store``.
 
@@ -379,6 +447,11 @@ def run_shard_manifest(
     per job (plus any extra shared artifacts) is returned for the caller
     to persist.  Budget enforcement (``--max-failures``) is the *parent's*
     responsibility: a shard cannot see its siblings' failures.
+
+    Tracing: the manifest's ``telemetry`` block (written by a traced
+    parent) or an explicit ``trace_dir`` (the standalone ``shard run
+    --trace-dir`` flow) makes this process append its own event stream to
+    that run directory.  Untraced manifests pay nothing.
     """
     from repro.experiments.runner import execute_graph  # lazy: cycle
     from repro.experiments.scheduler import build_job_graph
@@ -386,6 +459,13 @@ def run_shard_manifest(
 
     salt = manifest.get("salt")
     entries = list(manifest.get("jobs", ()))
+    shard_index = manifest.get("shard_index")
+    telemetry = dict(manifest.get("telemetry") or {})
+    if trace_dir is not None:  # the explicit flag wins over the manifest
+        telemetry["dir"] = str(trace_dir)
+    tracer: Tracer = NULL_TRACER
+    if telemetry.get("dir"):
+        tracer = process_tracer(telemetry["dir"], telemetry.get("run_id"))
     failure_log = FailureLog(store)
     statuses: List[Dict[str, object]] = []
     pending: List[Tuple[Optional[int], JobSpec]] = []
@@ -401,6 +481,10 @@ def run_shard_manifest(
             statuses.append(
                 {"key": key, "index": index, "kind": job.kind, "status": "cached"}
             )
+            tracer.emit(
+                telemetry_events.JOB_CACHED,
+                key=key, kind=job.kind, index=index, shard=shard_index,
+            )
             continue
         if index is None:
             index = synthetic
@@ -415,6 +499,11 @@ def run_shard_manifest(
         weights_cache_dir=weights_cache_dir,
         salt=salt,
         inject=frozenset(inject),
+        tracer=tracer,
+        trace_dir=telemetry.get("dir"),
+        trace_run_id=telemetry.get("run_id"),
+        shard=shard_index,
+        wave_override=telemetry.get("wave"),
     )
 
     def on_result(node: ScheduledJob, error: Optional[BaseException]) -> None:
@@ -525,6 +614,15 @@ class ShardedExecutor(Executor):
                 shard_index,
                 len(groups),
                 salt=context.salt,
+                telemetry=(
+                    {
+                        "dir": context.trace_dir,
+                        "run_id": context.trace_run_id,
+                        "wave": context.wave,
+                    }
+                    if context.trace_dir is not None
+                    else None
+                ),
             )
             path = Path(self._tmpdir.name) / (
                 f"wave{self._wave}-shard{shard_index}of{len(groups)}.json"

@@ -54,6 +54,7 @@ bit-line distribution capture behind ``uniform_calibrated`` evaluations
 from __future__ import annotations
 
 import dataclasses
+import os
 import time
 from pathlib import Path
 from typing import Callable, Collection, Dict, List, Optional, Union
@@ -64,6 +65,16 @@ from repro.experiments.executors import (
     ExecutionContext,
     Executor,
     resolve_executor,
+)
+from repro.telemetry import events as telemetry_events
+from repro.telemetry.tracer import (
+    NULL_TRACER,
+    Tracer,
+    merge_events,
+    process_tracer,
+    resolve_tracer,
+    write_graph,
+    write_run_manifest,
 )
 from repro.experiments.scheduler import (
     JobGraph,
@@ -478,36 +489,91 @@ def _execute_power(
     store.save(key, payload)
 
 
+def worker_name(tracer: Tracer = NULL_TRACER) -> str:
+    """This process's worker identity for execution metadata.
+
+    The tracer's stream name when tracing (so meta sidecars and event
+    streams name the same worker), a pid marker otherwise.
+    """
+    stream = getattr(tracer, "stream", None)
+    return str(stream) if stream else f"pid-{os.getpid()}"
+
+
 def execute_job(
     job: JobSpec,
     store: ResultStore,
     weights_cache_dir: Optional[str] = None,
     salt: Optional[str] = None,
+    tracer: Tracer = NULL_TRACER,
+    trace_fields: Optional[Dict[str, object]] = None,
 ) -> str:
     """Execute one atomic job, persist its artifact, return its key.
 
     Idempotent: if the store already holds the key, nothing is computed.
+    Timing is recorded out-of-band either way: a ``<store>/meta/<key>.json``
+    sidecar (``duration_s``, ``worker``) always, plus job lifecycle events
+    on ``tracer`` when tracing.  ``trace_fields`` carries scheduling
+    context (index/wave/shard/deps) onto the events; its ``submitted_mono``
+    entry — the monotonic instant the job's wave was handed to the
+    executor — becomes ``queue_wait_s`` on the start event.  Neither
+    touches the artifact bytes.
     """
     key = job_key(job, salt)
+    fields = dict(trace_fields or {})
+    submitted = fields.pop("submitted_mono", None)
     if store.has(key):
+        tracer.emit(
+            telemetry_events.JOB_CACHED,
+            key=key, kind=job.kind,
+            index=fields.get("index"), wave=fields.get("wave"),
+            shard=fields.get("shard"),
+        )
         return key
+    tracer.emit(
+        telemetry_events.JOB_START,
+        key=key, kind=job.kind,
+        queue_wait_s=(
+            max(time.monotonic() - submitted, 0.0) if submitted is not None else None
+        ),
+        **fields,
+    )
     started = time.perf_counter()
-    if job.kind == "evaluate":
-        if job.datapath == "pim":
-            _execute_evaluate(job, store, weights_cache_dir, salt, key)
-        else:
-            _execute_reference_evaluate(job, store, weights_cache_dir, salt, key)
-    elif job.kind == "monte_carlo":
-        _execute_monte_carlo(job, store, weights_cache_dir, salt, key)
-    elif job.kind == "calibration":
-        _execute_calibration(job, store, weights_cache_dir, salt, key)
-    elif job.kind == "distribution":
-        _execute_distribution(job, store, weights_cache_dir, salt, key)
-    elif job.kind == "power":
-        _execute_power(job, store, weights_cache_dir, salt, key)
-    else:  # pragma: no cover - JobSpec validates kinds
-        raise ValueError(f"unknown job kind {job.kind!r}")
-    logger.debug("job %s (%s) in %.2fs", key[:12], job.kind, time.perf_counter() - started)
+    try:
+        if job.kind == "evaluate":
+            if job.datapath == "pim":
+                _execute_evaluate(job, store, weights_cache_dir, salt, key)
+            else:
+                _execute_reference_evaluate(job, store, weights_cache_dir, salt, key)
+        elif job.kind == "monte_carlo":
+            _execute_monte_carlo(job, store, weights_cache_dir, salt, key)
+        elif job.kind == "calibration":
+            _execute_calibration(job, store, weights_cache_dir, salt, key)
+        elif job.kind == "distribution":
+            _execute_distribution(job, store, weights_cache_dir, salt, key)
+        elif job.kind == "power":
+            _execute_power(job, store, weights_cache_dir, salt, key)
+        else:  # pragma: no cover - JobSpec validates kinds
+            raise ValueError(f"unknown job kind {job.kind!r}")
+    except BaseException as error:
+        tracer.emit(
+            telemetry_events.JOB_FAILED,
+            key=key, kind=job.kind,
+            duration_s=time.perf_counter() - started,
+            error=f"{type(error).__name__}: {error}",
+            **fields,
+        )
+        raise
+    duration = time.perf_counter() - started
+    tracer.emit(
+        telemetry_events.JOB_FINISH,
+        key=key, kind=job.kind, duration_s=duration, outcome="computed",
+        **fields,
+    )
+    store.save_meta(
+        key,
+        {"kind": job.kind, "duration_s": duration, "worker": worker_name(tracer)},
+    )
+    logger.debug("job %s (%s) in %.2fs", key[:12], job.kind, duration)
     return key
 
 
@@ -517,14 +583,30 @@ def _worker_execute(
     weights_cache_dir: Optional[str],
     salt: Optional[str],
     inject_failure: bool = False,
+    trace: Optional[Dict[str, object]] = None,
 ) -> str:
-    """Top-level (picklable) entry point for pool workers."""
+    """Top-level (picklable) entry point for pool workers.
+
+    ``trace`` (built by :meth:`ExecutionContext.worker_trace`) carries the
+    run directory plus the job's scheduling context; the worker opens its
+    own per-process stream there (one file per pool worker, reused across
+    jobs and waves).  ``None`` means the run is untraced.
+    """
     from repro.experiments.executors import _injected_error
 
     job = JobSpec.from_dict(job_dict)
+    tracer: Tracer = NULL_TRACER
+    trace_fields: Optional[Dict[str, object]] = None
+    if trace:
+        trace = dict(trace)
+        tracer = process_tracer(trace.pop("dir"), trace.pop("run_id", None))
+        trace_fields = trace
     if inject_failure:
         raise _injected_error(job)
-    return execute_job(job, ResultStore(store_root), weights_cache_dir, salt)
+    return execute_job(
+        job, ResultStore(store_root), weights_cache_dir, salt,
+        tracer=tracer, trace_fields=trace_fields,
+    )
 
 
 # --------------------------------------------------------------------- #
@@ -550,6 +632,10 @@ class SweepRun:
     each entry mirrors its persisted failure-log record.  Rows of failed
     jobs are absent from ``rows`` — order of the surviving rows still
     follows the grid expansion.
+
+    ``telemetry_dir`` names the trace run directory when the sweep ran
+    with tracing (``None`` otherwise) — purely informational; telemetry
+    never contributes to the rows or the record.
     """
 
     sweep: SweepSpec
@@ -558,6 +644,7 @@ class SweepRun:
     record: ExperimentRecord
     stats: SweepRunStats
     failures: List[Dict[str, object]] = dataclasses.field(default_factory=list)
+    telemetry_dir: Optional[str] = None
 
 
 def prewarm_workloads(
@@ -614,8 +701,15 @@ def execute_graph(
     """
     failed_cause: Dict[str, str] = {}
     waves = graph.waves()
+    tracer = context.tracer
     with executor:
         for number, wave in enumerate(waves, start=1):
+            # A sharded child runs one wave of its *parent's* graph: keep
+            # the parent's wave number on every event and leave the wave
+            # lifecycle events to the parent.
+            context.wave = (
+                context.wave_override if context.wave_override is not None else number
+            )
             runnable: List[ScheduledJob] = []
             for node in wave:
                 cause = next(
@@ -625,6 +719,11 @@ def execute_graph(
                 )
                 if cause is not None:
                     failed_cause[node.key] = cause
+                    tracer.emit(
+                        telemetry_events.JOB_UPSTREAM_FAILED,
+                        key=node.key, kind=node.job.kind, index=node.index,
+                        wave=context.wave, cause_key=cause,
+                    )
                     on_result(
                         node,
                         UpstreamFailed(
@@ -642,12 +741,25 @@ def execute_graph(
                     f"  wave {number}/{len(waves)}: {len(runnable)} job(s)"
                     + (f" ({shared} shared artifact(s))" if shared else "")
                 )
+            emit_wave = context.wave_override is None
+            if emit_wave:
+                tracer.emit(
+                    telemetry_events.WAVE_START,
+                    wave=context.wave, jobs=len(runnable),
+                )
+            wave_started = time.monotonic()
             for node, error in executor.run_wave(runnable, context):
                 if error is not None:
                     failed_cause[node.key] = (
                         getattr(error, "cause_key", None) or node.key
                     )
                 on_result(node, error)
+            if emit_wave:
+                tracer.emit(
+                    telemetry_events.WAVE_FINISH,
+                    wave=context.wave, jobs=len(runnable),
+                    duration_s=time.monotonic() - wave_started,
+                )
 
 
 def aggregate_sweep(
@@ -740,6 +852,7 @@ def run_sweep(
     inject_failures: Collection[int] = (),
     executor: Union[str, Executor, None] = None,
     shards: int = 2,
+    trace: Union[bool, str, Tracer, None] = None,
 ) -> SweepRun:
     """Execute a sweep against a result store and aggregate its table.
 
@@ -778,6 +891,14 @@ def run_sweep(
         ``jobs > 1``).
     shards:
         Shard count of the ``sharded`` executor (ignored otherwise).
+    trace:
+        Telemetry: ``True`` records the sweep to a fresh run directory
+        under ``<store>/telemetry/``, a string names the run id, a
+        :class:`~repro.telemetry.tracer.Tracer` is used as-is, and
+        ``None``/``False`` (default) disables tracing entirely (the no-op
+        tracer costs one dynamic call per would-be event).  Tracing is
+        strictly out-of-band: rows, records and store artifacts are
+        byte-identical with it on or off.
 
     The returned :class:`SweepRun` carries rows in expansion order; the
     aggregate is identical whether the sweep ran serially, in parallel,
@@ -789,6 +910,10 @@ def run_sweep(
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
     exec_instance = resolve_executor(executor, jobs=jobs, shards=shards)
+    tracer = resolve_tracer(trace, store.root)
+    telemetry_dir: Optional[str] = None
+    if tracer.enabled and getattr(tracer, "directory", None) is not None:
+        telemetry_dir = str(tracer.directory)
     started = time.perf_counter()
     expanded = sweep.expand()
     keys = [job_key(job, salt) for job in expanded]
@@ -812,6 +937,51 @@ def run_sweep(
     # Dependency layer: dedupe the pending jobs and their (transitive)
     # dependencies into one content-addressed graph.
     graph = build_job_graph(pending, store, salt)
+
+    if tracer.enabled:
+        if telemetry_dir is not None:
+            write_run_manifest(
+                telemetry_dir,
+                run_id=getattr(tracer, "run_id", None),
+                sweep=sweep.name,
+                executor=exec_instance.name,
+                jobs=jobs,
+                shards=shards if exec_instance.name == "sharded" else None,
+                salt=salt if salt is not None else code_version_salt(),
+                total=stats.total,
+            )
+            if len(graph):
+                # The exact scheduled adjacency, for offline critical-path
+                # analysis (job events carry deps too; this is the whole
+                # graph in one read).
+                write_graph(
+                    telemetry_dir,
+                    {
+                        node.key: {
+                            "kind": node.job.kind,
+                            "index": node.index,
+                            "deps": list(node.dependencies),
+                        }
+                        for node in graph
+                    },
+                )
+        tracer.emit(
+            telemetry_events.SWEEP_START,
+            sweep=sweep.name, executor=exec_instance.name, jobs=jobs,
+            total=stats.total, cached=stats.cached, pending=len(pending),
+            scheduled=len(graph),
+        )
+        pending_indices = {index for index, _ in pending}
+        for index, (job, key) in enumerate(zip(expanded, keys)):
+            if index not in pending_indices:
+                tracer.emit(
+                    telemetry_events.JOB_CACHED,
+                    key=key, kind=job.kind, index=index,
+                )
+        tracer.counter(telemetry_events.COUNTER_CACHE_HITS, stats.cached)
+        tracer.counter(telemetry_events.COUNTER_CACHE_MISSES, len(pending))
+        tracer.counter(telemetry_events.COUNTER_JOBS_TOTAL, stats.total)
+
     if progress is not None:
         shared = sum(1 for node in graph if not node.indices)
         progress(
@@ -873,22 +1043,50 @@ def run_sweep(
                 + f"; see {failure_log.root})"
             ) from error
 
-    if len(graph):
-        if prewarm is None:
-            prewarm = exec_instance.needs_prewarm and weights_cache_dir is not None
-        if prewarm:
-            prewarm_workloads([node.job for node in graph], weights_cache_dir, progress)
-        context = ExecutionContext(
-            store=store,
-            weights_cache_dir=weights_cache_dir,
-            salt=salt,
-            inject=inject,
-        )
-        execute_graph(graph, exec_instance, context, on_result, progress)
+    try:
+        if len(graph):
+            if prewarm is None:
+                prewarm = exec_instance.needs_prewarm and weights_cache_dir is not None
+            if prewarm:
+                prewarm_started = time.monotonic()
+                tracer.emit(telemetry_events.PREWARM_START)
+                prewarm_workloads(
+                    [node.job for node in graph], weights_cache_dir, progress
+                )
+                prewarm_s = time.monotonic() - prewarm_started
+                tracer.emit(telemetry_events.PREWARM_FINISH, duration_s=prewarm_s)
+                tracer.counter(telemetry_events.COUNTER_PREWARM_S, prewarm_s)
+            context = ExecutionContext(
+                store=store,
+                weights_cache_dir=weights_cache_dir,
+                salt=salt,
+                inject=inject,
+                tracer=tracer,
+                trace_dir=telemetry_dir,
+                trace_run_id=getattr(tracer, "run_id", None),
+            )
+            execute_graph(graph, exec_instance, context, on_result, progress)
+    finally:
+        # The trace ends cleanly even when the failure policy aborts the
+        # sweep — a truncated run is exactly when the timeline matters.
+        if tracer.enabled:
+            tracer.emit(
+                telemetry_events.SWEEP_FINISH,
+                elapsed_s=time.perf_counter() - started,
+                computed=stats.computed, failed=stats.failed, cached=stats.cached,
+            )
+            tracer.counter(telemetry_events.COUNTER_JOBS_COMPUTED, stats.computed)
+            tracer.counter(telemetry_events.COUNTER_JOBS_FAILED, stats.failed)
+            tracer.flush()
+            if telemetry_dir is not None:
+                merge_events(telemetry_dir)
+        if not isinstance(trace, Tracer):
+            tracer.close()  # we created it (or it is the shared no-op)
 
     run = aggregate_sweep(
         sweep, store, salt=salt, experiment=experiment,
         stats=stats, failures=failures, expanded=expanded, keys=keys,
     )
+    run.telemetry_dir = telemetry_dir
     stats.elapsed_s = time.perf_counter() - started
     return run

@@ -124,11 +124,41 @@ class ResultStore:
             return {name: data[name] for name in data.files}
 
     def delete(self, key: str) -> None:
-        for path in (self.json_path(key), self.npz_path(key)):
+        for path in (self.json_path(key), self.npz_path(key), self.meta_path(key)):
             try:
                 path.unlink()
             except FileNotFoundError:
                 pass
+
+    # ------------------------------------------------------------------ #
+    def meta_path(self, key: str) -> Path:
+        return self.root / "meta" / f"{key}.json"
+
+    def save_meta(self, key: str, meta: Dict[str, object]) -> Path:
+        """Atomically persist a job's *non-hashed* execution metadata.
+
+        Meta sidecars live under ``<store>/meta/`` — outside the artifact
+        namespace — so they never participate in content addressing and
+        never perturb the byte-identity of the ``<key>.json`` payloads
+        (serial/process/sharded runs compare store roots byte-for-byte).
+        Recording how a result was produced (``duration_s``, ``worker``)
+        must not change what was produced.
+        """
+        path = self.meta_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        text = json.dumps(meta, indent=2, sort_keys=True)
+        self._atomic_write(path, lambda handle: handle.write(text.encode("utf-8")))
+        return path
+
+    def load_meta(self, key: str) -> Dict[str, object]:
+        """The key's execution metadata (``{}`` when none was recorded)."""
+        path = self.meta_path(key)
+        if not path.exists():
+            return {}
+        try:
+            return json.loads(path.read_text())
+        except json.JSONDecodeError:
+            return {}
 
     # ------------------------------------------------------------------ #
     def _atomic_write(self, path: Path, writer) -> None:

@@ -1,0 +1,77 @@
+"""Out-of-band sweep telemetry: tracing, metrics and timeline analysis.
+
+Three layers:
+
+* :mod:`repro.telemetry.events` — the event schema (names, envelope
+  fields, counter names).
+* :mod:`repro.telemetry.tracer` — emission: :class:`JsonlTracer` writes
+  per-process JSONL streams under ``<store>/telemetry/<run_id>/``;
+  :data:`NULL_TRACER` is the disabled no-op.
+* :mod:`repro.telemetry.analysis` — reconstruction: pairs job events into
+  a timeline, extracts the critical path, computes per-wave utilization,
+  finds stragglers, and summarises cache efficiency.
+
+Telemetry never feeds back into job addressing or stored artifacts —
+traced and untraced sweeps produce byte-identical aggregates.
+"""
+
+from repro.telemetry.analysis import (
+    JobExecution,
+    Straggler,
+    TraceRun,
+    WaveStats,
+    cache_summary,
+    critical_path,
+    find_stragglers,
+    kind_histogram,
+    load_run,
+    summarize,
+    wave_stats,
+)
+from repro.telemetry.events import TELEMETRY_DIRNAME, TELEMETRY_FORMAT
+from repro.telemetry.tracer import (
+    NULL_TRACER,
+    JsonlTracer,
+    Tracer,
+    latest_run,
+    list_runs,
+    load_events,
+    merge_events,
+    new_run_id,
+    process_tracer,
+    resolve_tracer,
+    run_directory,
+    telemetry_root,
+    write_graph,
+    write_run_manifest,
+)
+
+__all__ = [
+    "TELEMETRY_DIRNAME",
+    "TELEMETRY_FORMAT",
+    "JobExecution",
+    "JsonlTracer",
+    "NULL_TRACER",
+    "Straggler",
+    "TraceRun",
+    "Tracer",
+    "WaveStats",
+    "cache_summary",
+    "critical_path",
+    "find_stragglers",
+    "kind_histogram",
+    "latest_run",
+    "list_runs",
+    "load_events",
+    "load_run",
+    "merge_events",
+    "new_run_id",
+    "process_tracer",
+    "resolve_tracer",
+    "run_directory",
+    "summarize",
+    "telemetry_root",
+    "wave_stats",
+    "write_graph",
+    "write_run_manifest",
+]

@@ -42,3 +42,19 @@ def set_verbosity(level: int) -> None:
     """Set the verbosity of all library loggers (``logging`` level constants)."""
     _ensure_configured()
     logging.getLogger(_ROOT_NAME).setLevel(level)
+
+
+def verbosity_to_level(verbose: int = 0, quiet: bool = False) -> int:
+    """Map CLI ``-v`` counts / ``-q`` to a ``logging`` level.
+
+    ``-q`` wins over any ``-v``: errors only.  No flags keeps the library
+    default (warnings); ``-v`` surfaces progress (INFO), ``-vv`` and
+    beyond the full per-job detail (DEBUG).
+    """
+    if quiet:
+        return logging.ERROR
+    if verbose <= 0:
+        return logging.WARNING
+    if verbose == 1:
+        return logging.INFO
+    return logging.DEBUG

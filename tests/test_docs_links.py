@@ -54,5 +54,10 @@ def test_relative_links_resolve(document):
 
 def test_docs_suite_exists():
     """The documentation suite this PR introduced stays present."""
-    for name in ("architecture.md", "experiments.md", "reproducing-figures.md"):
+    for name in (
+        "architecture.md",
+        "experiments.md",
+        "reproducing-figures.md",
+        "observability.md",
+    ):
         assert (REPO_ROOT / "docs" / name).is_file(), f"docs/{name} missing"

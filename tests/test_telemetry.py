@@ -1,0 +1,545 @@
+"""Tests of the sweep-telemetry subsystem (tracing, analysis, CLI).
+
+The contracts pinned here:
+
+* Telemetry is strictly out-of-band: serial, process-pool, sharded and
+  resumed runs with ``trace`` on produce aggregate records and store
+  contents byte-identical to an untraced serial run.
+* The merged event stream accounts for every executed job exactly once
+  (one start + one finish pair per content address), and cache-hit
+  counters match the store's skip count.
+* ``critical_path`` returns a dependency-consistent chain (each job
+  waited on its predecessor) whose summed duration never exceeds the
+  sweep's elapsed time.
+* Straggler detection is relative *and* absolute, so seconds-fast
+  balanced runs never flag noise.
+* The CLI wires ``-v/-vv/-q`` to ``set_verbosity`` on every subcommand,
+  ``show`` surfaces per-job timing metadata and sweep-level telemetry,
+  and the ``trace`` subcommands render the recorded runs.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+
+import pytest
+
+from repro.experiments import (
+    NoiseScenario,
+    ResultStore,
+    SweepSpec,
+    WorkloadSpec,
+    build_preset,
+    execute_job,
+    job_key,
+    run_sweep,
+)
+from repro.experiments import runner as runner_module
+from repro.experiments.cli import main as cli_main
+from repro.telemetry import (
+    NULL_TRACER,
+    JsonlTracer,
+    TraceRun,
+    critical_path,
+    find_stragglers,
+    load_events,
+    load_run,
+    merge_events,
+    resolve_tracer,
+    summarize,
+    wave_stats,
+)
+from repro.telemetry import events as ev
+from repro.utils.logging import set_verbosity, verbosity_to_level
+
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
+TINY = WorkloadSpec(
+    "lenet5", preset="tiny", train_size=48, test_size=16,
+    calibration_images=8, epochs=2, seed=11,
+)
+
+NOISE = NoiseScenario(
+    models=[{"model": "gaussian_read_noise", "sigma": 0.5}], label={"sigma": 0.5},
+)
+
+
+def tiny_mc_sweep(name: str = "telemetry-sweep") -> SweepSpec:
+    """One zero-noise evaluate (the shared clean reference) + two MC jobs."""
+    return SweepSpec(
+        name=name,
+        kind="monte_carlo",
+        workloads=[TINY],
+        noises=[NoiseScenario(label={"sigma": 0.0}), NOISE],
+        mc_seeds=[0, 1],
+        trials=2,
+        images=4,
+        batch_size=4,
+    )
+
+
+@pytest.fixture(scope="module")
+def weights_cache(tmp_path_factory) -> str:
+    return str(tmp_path_factory.mktemp("weights"))
+
+
+@pytest.fixture(autouse=True)
+def _cold_runner():
+    runner_module.clear_runner_memos()
+    yield
+
+
+def record_bytes(run) -> bytes:
+    return json.dumps(run.record.to_dict(), sort_keys=True).encode("utf-8")
+
+
+def store_listing(store: ResultStore):
+    """(name, bytes) of every artifact — the store-equality oracle."""
+    return {
+        path.name: path.read_bytes()
+        for path in sorted(store.root.glob("*.json"))
+    }
+
+
+def write_stream(directory, stream, events):
+    """Hand-craft one JSONL stream file for analysis-layer unit tests."""
+    directory.mkdir(parents=True, exist_ok=True)
+    lines = []
+    for seq, event in enumerate(events, start=1):
+        lines.append(json.dumps({
+            "run_id": "synthetic", "stream": stream, "pid": 1, "seq": seq,
+            "t_wall": 0.0, **event,
+        }))
+    (directory / f"events-{stream}.jsonl").write_text("\n".join(lines) + "\n")
+
+
+def job_pair(key, kind, start, end, stream=None, wave=1, deps=()):
+    """A start/finish event pair for one synthetic job execution."""
+    return [
+        {"event": ev.JOB_START, "key": key, "kind": kind, "wave": wave,
+         "deps": list(deps), "t_mono": start},
+        {"event": ev.JOB_FINISH, "key": key, "kind": kind, "wave": wave,
+         "duration_s": end - start, "t_mono": end},
+    ]
+
+
+# --------------------------------------------------------------------- #
+# Tracer
+# --------------------------------------------------------------------- #
+class TestTracer:
+    def test_emit_writes_enveloped_jsonl_lines(self, tmp_path):
+        tracer = JsonlTracer(tmp_path / "run", run_id="r1", stream="s1")
+        tracer.emit("job_start", key="k", kind="evaluate", skipped=None)
+        tracer.emit("job_finish", key="k", duration_s=0.5)
+        tracer.close()
+        events = load_events(tmp_path / "run")
+        assert [e["event"] for e in events] == ["job_start", "job_finish"]
+        first = events[0]
+        assert first["run_id"] == "r1" and first["stream"] == "s1"
+        assert first["seq"] == 1 and events[1]["seq"] == 2
+        assert "t_mono" in first and "t_wall" in first and "pid" in first
+        assert "skipped" not in first  # None-valued fields are dropped
+
+    def test_span_emits_start_and_finish_with_duration(self, tmp_path):
+        tracer = JsonlTracer(tmp_path, stream="s")
+        with tracer.span("prewarm"):
+            pass
+        tracer.close()
+        events = load_events(tmp_path)
+        assert [e["event"] for e in events] == ["prewarm_start", "prewarm_finish"]
+        assert events[1]["duration_s"] >= 0.0
+
+    def test_null_tracer_is_disabled_and_writes_nothing(self, tmp_path):
+        assert not NULL_TRACER.enabled
+        NULL_TRACER.emit("job_start", key="k")
+        NULL_TRACER.counter("c", 1)
+        with NULL_TRACER.span("x"):
+            pass
+        assert list(tmp_path.iterdir()) == []
+
+    def test_resolve_tracer_mapping(self, tmp_path):
+        assert resolve_tracer(None, tmp_path) is NULL_TRACER
+        assert resolve_tracer(False, tmp_path) is NULL_TRACER
+        own = JsonlTracer(tmp_path / "mine")
+        assert resolve_tracer(own, tmp_path) is own
+        fresh = resolve_tracer(True, tmp_path)
+        assert fresh.enabled
+        assert fresh.directory.parent == tmp_path / "telemetry"
+        named = resolve_tracer("run-42", tmp_path)
+        assert named.directory == tmp_path / "telemetry" / "run-42"
+        assert named.run_id == "run-42"
+
+    def test_load_events_merges_streams_and_skips_torn_tail(self, tmp_path):
+        write_stream(tmp_path, "a", [{"event": "x", "t_mono": 2.0}])
+        write_stream(tmp_path, "b", [{"event": "y", "t_mono": 1.0}])
+        with open(tmp_path / "events-b.jsonl", "a") as handle:
+            handle.write('{"event": "torn", "t_mo')  # killed mid-write
+        events = load_events(tmp_path)
+        assert [e["event"] for e in events] == ["y", "x"]  # t_mono order
+
+    def test_merge_events_writes_single_ordered_stream(self, tmp_path):
+        write_stream(tmp_path, "a", [{"event": "x", "t_mono": 2.0}])
+        write_stream(tmp_path, "b", [{"event": "y", "t_mono": 1.0}])
+        merged = merge_events(tmp_path)
+        lines = merged.read_text().splitlines()
+        assert [json.loads(line)["event"] for line in lines] == ["y", "x"]
+
+
+# --------------------------------------------------------------------- #
+# Analysis (synthetic streams)
+# --------------------------------------------------------------------- #
+class TestAnalysis:
+    def test_critical_path_follows_the_longest_dependency_chain(self, tmp_path):
+        events = []
+        events += job_pair("k1", "distribution", 0.0, 5.0, wave=1)
+        events += job_pair("k2", "evaluate", 5.0, 6.0, wave=2, deps=["k1"])
+        events += job_pair("k3", "evaluate", 0.0, 3.0, wave=1)  # independent
+        write_stream(tmp_path, "s", events)
+        chain = critical_path(TraceRun(tmp_path))
+        assert [e.key for e in chain] == ["k1", "k2"]
+        assert sum(e.duration_s for e in chain) == pytest.approx(6.0)
+
+    def test_critical_path_ignores_cached_dependencies(self, tmp_path):
+        # k2 depends on k9, which was a cache hit: it bounded nothing.
+        events = [{"event": ev.JOB_CACHED, "key": "k9", "kind": "evaluate",
+                   "t_mono": 0.0}]
+        events += job_pair("k2", "monte_carlo", 0.0, 2.0, deps=["k9"])
+        write_stream(tmp_path, "s", events)
+        chain = critical_path(TraceRun(tmp_path))
+        assert [e.key for e in chain] == ["k2"]
+
+    def test_wave_stats_utilization(self, tmp_path):
+        # Two streams, one wave spanning 10s: A busy 10, B busy 4.
+        write_stream(tmp_path, "a", job_pair("a1", "evaluate", 0.0, 10.0))
+        write_stream(tmp_path, "b", job_pair("b1", "evaluate", 0.0, 4.0))
+        (stats,) = wave_stats(TraceRun(tmp_path))
+        assert stats.jobs == 2 and stats.streams == 2
+        assert stats.span_s == pytest.approx(10.0)
+        assert stats.utilization == pytest.approx(14.0 / 20.0)
+
+    def test_straggler_detection_is_relative_and_absolute(self, tmp_path):
+        write_stream(tmp_path, "a", job_pair("a1", "monte_carlo", 0.0, 10.0))
+        write_stream(tmp_path, "b", job_pair("b1", "monte_carlo", 0.0, 1.0))
+        write_stream(tmp_path, "c", job_pair("c1", "monte_carlo", 0.0, 1.0))
+        run = TraceRun(tmp_path)
+        (straggler,) = find_stragglers(run)
+        assert straggler.stream == "a"
+        assert straggler.busy_s == pytest.approx(10.0)
+        # Same shape scaled to sub-second: relative gap alone must not flag.
+        fast = tmp_path / "fast"
+        write_stream(fast, "a", job_pair("a1", "monte_carlo", 0.0, 0.3))
+        write_stream(fast, "b", job_pair("b1", "monte_carlo", 0.0, 0.1))
+        write_stream(fast, "c", job_pair("c1", "monte_carlo", 0.0, 0.1))
+        assert find_stragglers(TraceRun(fast)) == []
+
+    def test_duplicate_executions_are_surfaced_not_collapsed(self, tmp_path):
+        # Two racing shards honestly both computed the shared sibling.
+        write_stream(tmp_path, "a", job_pair("dup", "evaluate", 0.0, 1.0))
+        write_stream(tmp_path, "b", job_pair("dup", "evaluate", 0.5, 1.5))
+        run = TraceRun(tmp_path)
+        assert len(run.executions()) == 2
+        assert run.duplicate_keys() == ["dup"]
+        assert summarize(run)["duplicates"] == ["dup"]
+
+    def test_counters_keep_the_latest_sample(self, tmp_path):
+        write_stream(tmp_path, "s", [
+            {"event": ev.COUNTER, "name": "c", "value": 1, "t_mono": 0.0},
+            {"event": ev.COUNTER, "name": "c", "value": 3, "t_mono": 1.0},
+        ])
+        assert TraceRun(tmp_path).counters() == {"c": 3.0}
+
+
+# --------------------------------------------------------------------- #
+# Execution metadata sidecar (satellite: promoted per-job timing)
+# --------------------------------------------------------------------- #
+class TestMetaSidecar:
+    def test_execute_job_records_duration_and_worker(self, tmp_path, weights_cache):
+        job = tiny_mc_sweep().expand()[0]
+        store = ResultStore(tmp_path)
+        key = execute_job(job, store, weights_cache)
+        meta = store.load_meta(key)
+        assert meta["duration_s"] > 0.0
+        assert meta["worker"].startswith("pid-")
+        assert meta["kind"] == job.kind
+
+    def test_meta_lives_outside_the_artifact_namespace(self, tmp_path, weights_cache):
+        job = tiny_mc_sweep().expand()[0]
+        store = ResultStore(tmp_path)
+        key = execute_job(job, store, weights_cache)
+        assert list(store.keys()) == [key]  # meta/ never pollutes the root
+        assert store.meta_path(key).parent.name == "meta"
+
+    def test_delete_drops_the_sidecar_too(self, tmp_path, weights_cache):
+        job = tiny_mc_sweep().expand()[0]
+        store = ResultStore(tmp_path)
+        key = execute_job(job, store, weights_cache)
+        store.delete(key)
+        assert store.load_meta(key) == {}
+        assert not store.meta_path(key).exists()
+
+
+# --------------------------------------------------------------------- #
+# Traced execution across every executor
+# --------------------------------------------------------------------- #
+def _traced_runs(experiment, tmp_path, weights_cache):
+    """Serial/process/sharded/resumed runs of one sweep, all traced."""
+    sweep = experiment.sweep
+    runs = {}
+
+    serial = run_sweep(
+        sweep, ResultStore(tmp_path / "serial"),
+        weights_cache_dir=weights_cache, experiment=experiment, trace=True,
+    )
+    runs["serial"] = serial
+
+    runner_module.clear_runner_memos()
+    runs["process"] = run_sweep(
+        sweep, ResultStore(tmp_path / "process"), jobs=2, executor="process",
+        weights_cache_dir=weights_cache, experiment=experiment, trace=True,
+    )
+
+    runner_module.clear_runner_memos()
+    runs["sharded"] = run_sweep(
+        sweep, ResultStore(tmp_path / "sharded"), executor="sharded", shards=2,
+        weights_cache_dir=weights_cache, experiment=experiment, trace=True,
+    )
+
+    # Resume: compute the first half out-of-band, then the traced run.
+    runner_module.clear_runner_memos()
+    resumed_store = ResultStore(tmp_path / "resumed")
+    jobs = sweep.expand()
+    for job in jobs[: len(jobs) // 2]:
+        execute_job(job, resumed_store, weights_cache)
+    runner_module.clear_runner_memos()
+    runs["resumed"] = run_sweep(
+        sweep, resumed_store, weights_cache_dir=weights_cache,
+        experiment=experiment, trace=True,
+    )
+    return runs
+
+
+class TestTracedExecutors:
+    @pytest.fixture(scope="class")
+    def traced(self, tmp_path_factory, weights_cache):
+        runner_module.clear_runner_memos()
+        tmp_path = tmp_path_factory.mktemp("traced-modes")
+        experiment = build_preset(
+            "robustness-noise", smoke=True, images=4, trials=2,
+        )
+        runner_module.clear_runner_memos()
+        untraced = run_sweep(
+            experiment.sweep, ResultStore(tmp_path / "reference"),
+            weights_cache_dir=weights_cache, experiment=experiment,
+        )
+        return {
+            "tmp_path": tmp_path,
+            "reference": untraced,
+            "runs": _traced_runs(experiment, tmp_path, weights_cache),
+        }
+
+    def test_traced_runs_are_byte_identical_to_untraced(self, traced):
+        tmp_path = traced["tmp_path"]
+        reference_record = record_bytes(traced["reference"])
+        reference_store = store_listing(ResultStore(tmp_path / "reference"))
+        for mode, run in traced["runs"].items():
+            assert record_bytes(run) == reference_record, f"{mode} differs"
+            assert store_listing(ResultStore(tmp_path / mode)) == reference_store, (
+                f"{mode} store contents differ"
+            )
+
+    def test_every_mode_records_a_telemetry_run(self, traced):
+        for mode, run in traced["runs"].items():
+            assert run.telemetry_dir is not None, mode
+            trace = load_run(run.telemetry_dir)
+            assert trace.events, mode
+            assert trace.manifest.get("sweep") == run.sweep.name
+
+    def test_merged_stream_accounts_for_every_executed_job_exactly_once(
+        self, traced
+    ):
+        for mode, run in traced["runs"].items():
+            trace = load_run(run.telemetry_dir)
+            executions = trace.executions()
+            assert all(e.closed for e in executions), mode
+            assert trace.duplicate_keys() == [], mode
+            executed_keys = {e.key for e in executions}
+            cached_keys = set(trace.cached_keys())
+            assert len(executions) + len(cached_keys) >= run.stats.total, mode
+            assert executed_keys.isdisjoint(cached_keys), mode
+            # The merged single-file stream tells the same story.
+            merged = (trace.directory / "merged.jsonl").read_text().splitlines()
+            merged_events = [json.loads(line) for line in merged]
+            starts = [e for e in merged_events if e["event"] == ev.JOB_START]
+            closes = [
+                e for e in merged_events
+                if e["event"] in (ev.JOB_FINISH, ev.JOB_FAILED)
+            ]
+            assert len(starts) == len(closes) == len(executions), mode
+
+    def test_computed_counts_match_the_events(self, traced):
+        for mode, run in traced["runs"].items():
+            trace = load_run(run.telemetry_dir)
+            computed = [
+                e for e in trace.executions()
+                if e.outcome == "computed" and e.index is not None
+            ]
+            # Grid-point executions (shared artifacts carry no index).
+            assert len(computed) == run.stats.computed, mode
+
+    def test_critical_path_is_dependency_consistent_and_bounded(self, traced):
+        for mode, run in traced["runs"].items():
+            trace = load_run(run.telemetry_dir)
+            chain = critical_path(trace)
+            assert chain, mode
+            deps_map = trace.dependency_map()
+            for upstream, downstream in zip(chain, chain[1:]):
+                assert upstream.key in deps_map.get(downstream.key, ()), mode
+            total = sum(e.duration_s for e in chain)
+            assert total <= trace.elapsed_s() + 1e-6, mode
+
+    def test_cache_hit_counter_matches_store_skips(self, traced):
+        for mode, run in traced["runs"].items():
+            trace = load_run(run.telemetry_dir)
+            assert trace.counters()[ev.COUNTER_CACHE_HITS] == run.stats.cached, mode
+
+
+class TestCacheCounters:
+    def test_full_cache_hit_rerun_counts_every_skip(self, tmp_path, weights_cache):
+        sweep = tiny_mc_sweep("cache-count")
+        store = ResultStore(tmp_path)
+        first = run_sweep(sweep, store, weights_cache_dir=weights_cache, trace=True)
+        assert first.stats.computed == first.stats.total
+        second = run_sweep(sweep, store, weights_cache_dir=weights_cache, trace=True)
+        assert second.stats.cached == second.stats.total
+        trace = load_run(second.telemetry_dir)
+        assert trace.counters()[ev.COUNTER_CACHE_HITS] == second.stats.total
+        assert len(trace.cached_keys()) == second.stats.total
+        assert trace.executions() == []  # nothing ran
+        summary = summarize(trace)
+        assert summary["cache"]["hits"] == second.stats.total
+        assert summary["cache"]["hit_rate"] == pytest.approx(1.0)
+
+
+class TestFailureEvents:
+    def test_injected_failure_marks_dependents_upstream_failed(
+        self, tmp_path, weights_cache
+    ):
+        sweep = tiny_mc_sweep("fail-trace")
+        # Index 0 is the zero-noise evaluate — the shared clean reference
+        # of both Monte Carlo jobs.
+        run = run_sweep(
+            sweep, ResultStore(tmp_path), weights_cache_dir=weights_cache,
+            inject_failures=[0], max_failures=1, trace=True,
+        )
+        assert run.stats.failed == 3  # the root + two dependents
+        trace = load_run(run.telemetry_dir)
+        assert len(trace.upstream_failed_keys()) == 2
+        finishes = trace.select(ev.SWEEP_FINISH)
+        assert len(finishes) == 1 and finishes[0]["failed"] == 3
+        assert trace.counters()[ev.COUNTER_JOBS_FAILED] == 3
+
+
+# --------------------------------------------------------------------- #
+# CLI: verbosity flags
+# --------------------------------------------------------------------- #
+class TestCliVerbosity:
+    @pytest.fixture(autouse=True)
+    def _restore_level(self):
+        yield
+        set_verbosity(logging.WARNING)
+
+    def test_verbosity_to_level_mapping(self):
+        assert verbosity_to_level(0, False) == logging.WARNING
+        assert verbosity_to_level(1, False) == logging.INFO
+        assert verbosity_to_level(2, False) == logging.DEBUG
+        assert verbosity_to_level(3, False) == logging.DEBUG
+        assert verbosity_to_level(2, True) == logging.ERROR  # -q wins
+
+    @pytest.mark.parametrize("argv,level", [
+        (["-v", "list"], logging.INFO),       # flag before the subcommand
+        (["list", "-v"], logging.INFO),       # flag after the subcommand
+        (["list", "-vv"], logging.DEBUG),
+        (["list", "-q"], logging.ERROR),
+        (["list"], logging.WARNING),
+    ])
+    def test_flags_set_the_library_level(self, argv, level, capsys):
+        assert cli_main(argv) == 0
+        assert logging.getLogger("repro").level == level
+        capsys.readouterr()
+
+
+# --------------------------------------------------------------------- #
+# CLI: show timing + trace subcommands
+# --------------------------------------------------------------------- #
+class TestCliTelemetry:
+    @pytest.fixture(scope="class")
+    def traced_store(self, tmp_path_factory, weights_cache):
+        runner_module.clear_runner_memos()
+        tmp_path = tmp_path_factory.mktemp("cli-telemetry")
+        sweep = tiny_mc_sweep("cli-sweep")
+        store = ResultStore(tmp_path / "store")
+        run = run_sweep(sweep, store, weights_cache_dir=weights_cache, trace=True)
+        spec_path = tmp_path / "sweep.json"
+        spec_path.write_text(json.dumps(sweep.to_dict()))
+        return {"store": store, "run": run, "spec_path": spec_path}
+
+    def test_show_prints_job_timing_and_sweep_telemetry(self, traced_store, capsys):
+        assert cli_main([
+            "show", str(traced_store["spec_path"]),
+            "--store", str(traced_store["store"].root),
+        ]) == 0
+        out = capsys.readouterr().out
+        stored_lines = [l for l in out.splitlines() if " stored " in l]
+        assert stored_lines and all("s @ " in l for l in stored_lines)
+        assert "telemetry (" in out and "elapsed" in out
+        assert "wave 1:" in out
+
+    def test_show_degrades_without_telemetry(self, traced_store, tmp_path, capsys):
+        assert cli_main([
+            "show", str(traced_store["spec_path"]), "--store", str(tmp_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry: none recorded" in out
+
+    def test_trace_list_names_the_run(self, traced_store, capsys):
+        assert cli_main(["trace", "list",
+                         "--store", str(traced_store["store"].root)]) == 0
+        out = capsys.readouterr().out
+        run_id = str(traced_store["run"].telemetry_dir).rsplit("/", 1)[-1]
+        assert run_id in out and "sweep=cli-sweep" in out
+
+    def test_trace_summary_reports_jobs_and_stragglers(self, traced_store, capsys):
+        assert cli_main(["trace", "summary",
+                         "--store", str(traced_store["store"].root)]) == 0
+        out = capsys.readouterr().out
+        run = traced_store["run"]
+        assert f"jobs executed: {run.stats.computed} " in out
+        assert f"({run.stats.computed} ok, 0 failed)" in out
+        assert "stragglers: 0" in out
+        assert "critical path:" in out
+
+    def test_trace_critical_path_prints_the_chain(self, traced_store, capsys):
+        assert cli_main(["trace", "critical-path",
+                         "--store", str(traced_store["store"].root)]) == 0
+        out = capsys.readouterr().out
+        assert "critical path:" in out
+        # evaluate (clean reference) strictly precedes its monte_carlo user.
+        lines = [l for l in out.splitlines() if ". " in l and "wave" in l]
+        kinds = [l.split()[2] for l in lines]
+        assert "monte_carlo" in kinds
+        assert kinds.index("evaluate") < kinds.index("monte_carlo")
+
+    def test_trace_show_filters_and_limits(self, traced_store, capsys):
+        assert cli_main([
+            "trace", "show", "--store", str(traced_store["store"].root),
+            "--event", "job_finish", "--limit", "2",
+        ]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert len(lines) == 2
+        assert all(json.loads(l)["event"] == "job_finish" for l in lines)
+
+    def test_trace_summary_without_telemetry_exits_with_hint(self, tmp_path, capsys):
+        with pytest.raises(SystemExit, match="no telemetry recorded"):
+            cli_main(["trace", "summary", "--store", str(tmp_path)])
+        capsys.readouterr()
