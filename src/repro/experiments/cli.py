@@ -15,6 +15,13 @@
     python -m repro.experiments shard run shards/fig6-shard1of2.json
     python -m repro.experiments shard merge shards/ --out fig6_sweep.json
 
+    # Observability: live progress, recorded traces, perf history.
+    python -m repro.experiments run --preset fig6 --smoke --progress
+    python -m repro.experiments trace watch            # follow the newest run
+    python -m repro.experiments trace summary --json
+    python -m repro.experiments trace history
+    python -m repro.experiments trace regress --baseline first
+
 ``run``/``show`` accept either a built-in preset name (``list`` shows them;
 the ``--preset`` flag is an explicit spelling of the same thing) or a path
 to a JSON file holding an :class:`~repro.experiments.spec.ExperimentSpec`
@@ -49,8 +56,9 @@ import argparse
 import hashlib
 import json
 import sys
+import threading
 from pathlib import Path
-from typing import List, Optional
+from typing import List, Optional, Union
 
 from repro.experiments.executors import (
     EXECUTOR_NAMES,
@@ -74,10 +82,13 @@ from repro.experiments.store import (
     job_key,
 )
 from repro.telemetry import analysis as trace_analysis
+from repro.telemetry import history as trace_history
+from repro.telemetry import live as trace_live
 from repro.telemetry.tracer import (
     latest_run,
     list_runs,
     load_run_manifest,
+    new_run_id,
     run_directory,
     stream_paths,
 )
@@ -87,6 +98,7 @@ DEFAULT_STORE = Path("benchmarks") / "results" / "store"
 DEFAULT_CACHE = Path("benchmarks") / ".cache"
 DEFAULT_OUT_DIR = Path("benchmarks") / "results"
 DEFAULT_SHARD_DIR = Path("benchmarks") / "results" / "shards"
+DEFAULT_HISTORY = trace_history.default_history_path(DEFAULT_OUT_DIR)
 
 
 def load_experiment(spec: str, smoke: bool = False) -> ExperimentSpec:
@@ -245,6 +257,17 @@ def build_parser() -> argparse.ArgumentParser:
                      help="record sweep telemetry (JSONL event streams) to "
                           "<store>/telemetry/<run id>/; inspect with the "
                           "'trace' subcommands")
+    run.add_argument("--progress", action="store_true",
+                     help="render live sweep progress (per-wave counts, "
+                          "running-job ages, ETA) while the sweep executes; "
+                          "implies --trace.  Uses ANSI redraw on a TTY and "
+                          "plain snapshot lines otherwise (or with --ascii)")
+    run.add_argument("--history", type=Path, default=None, metavar="PATH",
+                     help="perf-history JSONL log a traced run appends its "
+                          f"summary record to (default {DEFAULT_HISTORY}; "
+                          "only written when tracing)")
+    run.add_argument("--no-history", action="store_true",
+                     help="skip the perf-history append even when tracing")
     run.add_argument("--jobs", type=int, default=1,
                      help="parallel worker processes (default 1: in-process)")
     run.add_argument("--executor", choices=EXECUTOR_NAMES, default=None,
@@ -340,9 +363,11 @@ def build_parser() -> argparse.ArgumentParser:
                "'run --trace' (or 'shard run --trace-dir').  'list' "
                "enumerates runs, 'show' prints the merged time-ordered "
                "event stream, 'summary' the reconstructed timeline "
-               "(utilization, stragglers, cache efficiency), and "
+               "(utilization, stragglers, cache efficiency), "
                "'critical-path' the dependency chain that bounded the "
-               "sweep's wall-clock.  See docs/observability.md.",
+               "sweep's wall-clock, 'watch' follows a run live, and "
+               "'history'/'regress' read the durable perf-history log.  "
+               "See docs/observability.md.",
     )
     trace_sub = trace.add_subparsers(dest="trace_command", required=True)
 
@@ -378,12 +403,93 @@ def build_parser() -> argparse.ArgumentParser:
                                help="...and the absolute gap exceeds SECONDS "
                                     "(default 5.0; keeps seconds-fast smoke "
                                     "runs quiet)")
+    trace_summary.add_argument("--json", action="store_true",
+                               help="print the summary as one JSON object "
+                                    "(the same schema history.jsonl records "
+                                    "are built from) instead of text")
 
     trace_cp = trace_sub.add_parser(
         "critical-path",
         help="print the executed dependency chain that bounded wall-clock")
     _add_verbosity_arguments(trace_cp)
     _add_trace_selection_arguments(trace_cp)
+    trace_cp.add_argument("--json", action="store_true",
+                          help="print the chain as one JSON object instead "
+                               "of text")
+
+    trace_watch = trace_sub.add_parser(
+        "watch",
+        help="follow a (possibly still running) trace run live",
+        epilog="Tails the run's event streams as they grow — torn tails and "
+               "streams appearing mid-run are fine; no locks are taken — and "
+               "redraws a progress snapshot until the sweep records a "
+               "terminal event (sweep_finish/sweep_abort).  Exits 0 on "
+               "completion, 1 when --timeout expires first.",
+    )
+    _add_verbosity_arguments(trace_watch)
+    _add_trace_selection_arguments(trace_watch)
+    trace_watch.add_argument("--interval", type=float, default=0.5,
+                             metavar="SECONDS",
+                             help="polling interval (default 0.5)")
+    trace_watch.add_argument("--timeout", type=float, default=None,
+                             metavar="SECONDS",
+                             help="give up after SECONDS without a terminal "
+                                  "event (default: wait indefinitely)")
+    trace_watch.add_argument("--ascii", action="store_true",
+                             help="plain snapshot lines instead of ANSI "
+                                  "redraw (automatic off a TTY)")
+    trace_watch.add_argument("--json", action="store_true",
+                             help="print only the final state snapshot as "
+                                  "one JSON object")
+
+    trace_hist = trace_sub.add_parser(
+        "history",
+        help="list the perf-history log's sweep trajectories")
+    _add_verbosity_arguments(trace_hist)
+    trace_hist.add_argument("--history", type=Path, default=DEFAULT_HISTORY,
+                            metavar="PATH",
+                            help=f"history JSONL path (default {DEFAULT_HISTORY})")
+    trace_hist.add_argument("--sweep", default=None, metavar="NAME",
+                            help="only records of this sweep")
+    trace_hist.add_argument("--limit", type=int, default=None, metavar="N",
+                            help="only the newest N records")
+    trace_hist.add_argument("--json", action="store_true",
+                            help="print the records as a JSON array")
+
+    trace_regress = trace_sub.add_parser(
+        "regress",
+        help="compare the latest history record against a baseline",
+        epilog="Two-gate thresholds (mirroring the straggler detector): a "
+               "metric regresses only when it exceeds the baseline by the "
+               "relative factor AND the absolute gap, so seconds-fast smoke "
+               "runs never flag timing noise.  Exit codes: 0 no regression, "
+               "5 regression found, 2 not enough history.",
+    )
+    _add_verbosity_arguments(trace_regress)
+    trace_regress.add_argument("--history", type=Path, default=DEFAULT_HISTORY,
+                               metavar="PATH",
+                               help=f"history JSONL path (default {DEFAULT_HISTORY})")
+    trace_regress.add_argument("--sweep", default=None, metavar="NAME",
+                               help="only compare records of this sweep")
+    trace_regress.add_argument("--baseline", default="first", metavar="WHICH",
+                               help="baseline record: 'first' (default), an "
+                                    "integer index into the record list "
+                                    "(negatives from the end), or a run id")
+    trace_regress.add_argument("--factor", type=float, default=1.5,
+                               metavar="F",
+                               help="relative gate for elapsed/critical-path "
+                                    "(default 1.5)")
+    trace_regress.add_argument("--min-gap", type=float, default=5.0,
+                               metavar="SECONDS",
+                               help="absolute gate for elapsed/critical-path "
+                                    "(default 5.0)")
+    trace_regress.add_argument("--rss-factor", type=float, default=1.5,
+                               metavar="F",
+                               help="relative gate for peak RSS (default 1.5)")
+    trace_regress.add_argument("--rss-min-gap", type=float, default=262144.0,
+                               metavar="KB",
+                               help="absolute gate for peak RSS in KiB "
+                                    "(default 262144 = 256 MiB)")
     return parser
 
 
@@ -487,6 +593,64 @@ def _cmd_show(args: argparse.Namespace) -> int:
     return 0
 
 
+def _render_watch_loop(
+    directory: Path,
+    ascii_only: bool,
+    stop: Optional[threading.Event] = None,
+    interval_s: float = 0.25,
+    timeout_s: Optional[float] = None,
+    quiet: bool = False,
+) -> dict:
+    """Poll a (growing) trace run and redraw its snapshot until terminal.
+
+    The shared engine of ``run --progress`` (driven on a background thread
+    with ``stop`` set once the sweep returns) and ``trace watch`` (driven
+    on the main thread with an optional timeout).  On a TTY the previous
+    snapshot is erased with ANSI cursor movement; otherwise (or in ASCII
+    mode) changed snapshots print as plain blocks.  Returns the final
+    state snapshot.
+    """
+    import time as _time
+
+    tailer = trace_live.RunTailer(directory)
+    state = trace_live.SweepState()
+    manifest = tailer.manifest()
+    if manifest.get("sweep"):
+        state.sweep = str(manifest["sweep"])
+    if manifest.get("executor"):
+        state.executor = str(manifest["executor"])
+    is_tty = sys.stdout.isatty()
+    ascii_only = ascii_only or not is_tty
+    previous_lines = 0
+    last_text: Optional[str] = None
+    deadline = _time.monotonic() + timeout_s if timeout_s is not None else None
+    while True:
+        for event in tailer.poll():
+            state.apply(event)
+        if tailer.graph:
+            state.ingest_graph(tailer.graph)
+        snapshot = state.snapshot()
+        if not quiet:
+            text = trace_live.render(snapshot, ascii_only=ascii_only)
+            if text != last_text:
+                if is_tty and previous_lines:
+                    sys.stdout.write(f"\x1b[{previous_lines}F\x1b[0J")
+                sys.stdout.write(text + "\n")
+                sys.stdout.flush()
+                previous_lines = text.count("\n") + 1
+                last_text = text
+        if state.terminal:
+            return snapshot
+        if stop is not None and stop.is_set():
+            return snapshot  # sweep returned without a terminal event
+        if deadline is not None and _time.monotonic() >= deadline:
+            return snapshot
+        if stop is not None:
+            stop.wait(interval_s)
+        else:
+            _time.sleep(interval_s)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     spec_arg = _resolve_spec(args)
     experiment = load_experiment(spec_arg, smoke=args.smoke)
@@ -499,6 +663,26 @@ def _cmd_run(args: argparse.Namespace) -> int:
     out = args.out
     if out is None:
         out = _default_out_path(experiment.experiment_id)
+    traced = args.trace or args.progress
+    # The history log is an opt-out companion of tracing: every traced run
+    # appends its summary record unless --no-history.
+    history: Optional[Path] = None
+    if traced and not args.no_history:
+        history = args.history if args.history is not None else DEFAULT_HISTORY
+    trace_arg: Union[bool, str] = traced
+    watcher: Optional[threading.Thread] = None
+    watcher_stop = threading.Event()
+    if args.progress:
+        # Name the run id up front so the watcher knows the directory
+        # before run_sweep creates it; the tailer tolerates the wait.
+        run_id = new_run_id()
+        trace_arg = run_id
+        watcher = threading.Thread(
+            target=_render_watch_loop,
+            args=(Path(run_directory(store.root, run_id)), args.ascii, watcher_stop),
+            daemon=True,
+        )
+        watcher.start()
     try:
         run = run_sweep(
             sweep,
@@ -507,12 +691,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
             force=args.force,
             weights_cache_dir=str(args.cache_dir),
             experiment=experiment,
-            progress=print,
+            # The live renderer replaces the textual progress lines.
+            progress=None if args.progress else print,
             max_failures=args.max_failures,
             inject_failures=args.inject_failure or (),
             executor=args.executor,
             shards=args.shards,
-            trace=args.trace,
+            trace=trace_arg,
+            history=history,
         )
     except KeyboardInterrupt:
         print(
@@ -525,6 +711,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"\nABORTED: {error}", file=sys.stderr)
         print(f"inspect failures: {show_hint}", file=sys.stderr)
         return 3
+    finally:
+        if watcher is not None:
+            watcher_stop.set()
+            watcher.join(timeout=5.0)
     print()
     print(run.record.to_table())
     run.record.save(out)
@@ -557,6 +747,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"telemetry: {run.telemetry_dir}")
         print("inspect: python -m repro.experiments trace summary "
               f"--store {store.root} --run {run_id}")
+        if history is not None:
+            print(f"perf history: {history} (compare runs with "
+                  "'trace history' / 'trace regress')")
     return 0
 
 
@@ -797,6 +990,12 @@ def _cmd_trace_summary(args: argparse.Namespace) -> int:
     stragglers = trace_analysis.find_stragglers(
         run, factor=args.straggler_factor, min_gap_s=args.straggler_min_gap
     )
+    if args.json:
+        summary["stragglers"] = stragglers  # honour the CLI's thresholds
+        print(json.dumps(
+            trace_analysis.summary_to_jsonable(summary), sort_keys=True
+        ))
+        return 0
     print(f"trace run: {summary['run_id']}")
     print(f"directory: {run.directory}")
     if summary.get("sweep"):
@@ -846,6 +1045,18 @@ def _cmd_trace_summary(args: argparse.Namespace) -> int:
 def _cmd_trace_critical_path(args: argparse.Namespace) -> int:
     run = _resolve_trace_run(args)
     chain = trace_analysis.critical_path(run)
+    if args.json:
+        total = sum(e.duration_s or 0.0 for e in chain)
+        print(json.dumps(
+            {
+                "run_id": run.run_id,
+                "jobs": [trace_analysis.execution_to_dict(e) for e in chain],
+                "critical_path_s": total,
+                "elapsed_s": run.elapsed_s(),
+            },
+            sort_keys=True,
+        ))
+        return 0
     if not chain:
         print("critical path: empty (no executed jobs in this trace)")
         return 0
@@ -868,6 +1079,128 @@ def _cmd_trace_critical_path(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace_watch(args: argparse.Namespace) -> int:
+    # Unlike the offline subcommands, watch may target a run that has not
+    # materialised yet (a sweep just launched elsewhere) — an explicit
+    # --run/--dir is followed as soon as it appears.
+    if args.dir is not None:
+        directory = Path(args.dir)
+    elif args.run is not None:
+        directory = Path(run_directory(args.store, args.run))
+    else:
+        found = latest_run(args.store, sweep=args.sweep)
+        if found is None:
+            raise SystemExit(
+                "no telemetry recorded"
+                + (f" for sweep '{args.sweep}'" if args.sweep else "")
+                + f" under {args.store}/telemetry — start a traced sweep "
+                "('run ... --trace') or name one with --run/--dir"
+            )
+        directory = Path(found)
+    snapshot = _render_watch_loop(
+        directory, args.ascii,
+        interval_s=args.interval, timeout_s=args.timeout, quiet=args.json,
+    )
+    if args.json:
+        print(json.dumps(snapshot, sort_keys=True))
+    if not snapshot.get("terminal"):
+        print(
+            f"watch gave up after {args.timeout}s without a terminal event "
+            "(sweep still running? re-watch, or raise --timeout)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _format_history_line(record: dict) -> str:
+    recorded = str(record.get("recorded_at", "?"))[:19]
+    sweep = record.get("sweep") or "?"
+    executor = record.get("executor") or "?"
+    elapsed = record.get("elapsed_s")
+    elapsed_text = f"{float(elapsed):8.2f}s" if elapsed is not None else "       ?"
+    cache = record.get("cache") or {}
+    hit_rate = cache.get("hit_rate")
+    cache_text = (
+        f"cache {float(hit_rate) * 100:3.0f}%" if hit_rate is not None else "cache ?"
+    )
+    resources = record.get("resources") or {}
+    rss = resources.get("peak_rss_kb")
+    rss_text = f"  rss {float(rss) / 1024:.0f}MiB" if rss else ""
+    return (f"  {recorded}  {sweep:20s} {executor:8s} {elapsed_text}  "
+            f"{cache_text}{rss_text}  [{record.get('run_id', '?')}]")
+
+
+def _cmd_trace_history(args: argparse.Namespace) -> int:
+    records = trace_history.load_history(args.history, sweep=args.sweep)
+    if args.limit is not None:
+        records = records[-args.limit:]
+    if args.json:
+        print(json.dumps(records, sort_keys=True))
+        return 0
+    if not records:
+        print(f"no perf history at {args.history}"
+              + (f" for sweep '{args.sweep}'" if args.sweep else "")
+              + " (traced runs append records automatically)")
+        return 0
+    print(f"{len(records)} record(s) in {args.history}:")
+    for record in records:
+        print(_format_history_line(record))
+    print("\ncompare: python -m repro.experiments trace regress "
+          f"--history {args.history}")
+    return 0
+
+
+def _cmd_trace_regress(args: argparse.Namespace) -> int:
+    records = trace_history.load_history(args.history, sweep=args.sweep)
+    if len(records) < 2:
+        print(
+            f"not enough history in {args.history} to compare "
+            f"({len(records)} record(s); need a baseline and a latest run)",
+            file=sys.stderr,
+        )
+        return 2
+    latest = records[-1]
+    baseline = trace_history.find_baseline(records, args.baseline)
+    if baseline is None:
+        raise SystemExit(
+            f"no history record matches baseline {args.baseline!r} "
+            f"(run ids: {[r.get('run_id') for r in records]})"
+        )
+    if baseline is latest:
+        raise SystemExit(
+            f"baseline {args.baseline!r} resolves to the latest record "
+            "itself; pick an earlier one"
+        )
+    regressions = trace_history.compare_records(
+        baseline, latest,
+        factor=args.factor, min_gap_s=args.min_gap,
+        rss_factor=args.rss_factor, min_gap_rss_kb=args.rss_min_gap,
+    )
+    print(f"baseline: {baseline.get('run_id')} ({baseline.get('recorded_at')})")
+    print(f"latest:   {latest.get('run_id')} ({latest.get('recorded_at')})")
+    for label, path in (
+        ("elapsed_s", ("elapsed_s",)),
+        ("critical_path_s", ("critical_path_s",)),
+        ("peak_rss_kb", ("resources", "peak_rss_kb")),
+    ):
+        base = trace_history.metric_value(baseline, path)
+        new = trace_history.metric_value(latest, path)
+        if base is None or new is None:
+            continue
+        print(f"  {label:16s} {base:12.3f} -> {new:12.3f}"
+              + (f"  ({new / base:.2f}x)" if base > 0 else ""))
+    if regressions:
+        print(f"\nREGRESSION: {len(regressions)} metric(s) exceeded both "
+              f"gates (factor {args.factor}, gap {args.min_gap}s / "
+              f"rss factor {args.rss_factor}, gap {args.rss_min_gap:.0f}KiB):")
+        for regression in regressions:
+            print(f"  {regression.describe()}")
+        return 5
+    print("\nno regression (every metric within the relative+absolute gates)")
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     if args.trace_command == "list":
         return _cmd_trace_list(args)
@@ -875,6 +1208,12 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         return _cmd_trace_show(args)
     if args.trace_command == "summary":
         return _cmd_trace_summary(args)
+    if args.trace_command == "watch":
+        return _cmd_trace_watch(args)
+    if args.trace_command == "history":
+        return _cmd_trace_history(args)
+    if args.trace_command == "regress":
+        return _cmd_trace_regress(args)
     return _cmd_trace_critical_path(args)
 
 

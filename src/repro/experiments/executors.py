@@ -49,6 +49,7 @@ from repro.experiments.scheduler import ScheduledJob, UpstreamFailed
 from repro.experiments.spec import ExperimentSpec, JobSpec, SweepSpec
 from repro.experiments.store import ResultStore, code_version_salt, job_key
 from repro.telemetry import events as telemetry_events
+from repro.telemetry.resources import ensure_process_sampler
 from repro.telemetry.tracer import NULL_TRACER, Tracer, process_tracer
 from repro.utils.logging import get_logger
 
@@ -151,18 +152,48 @@ class Executor:
 
     Subclasses implement :meth:`run_wave`; lifecycle (resource setup in
     ``__enter__``, teardown *and cancellation* in ``__exit__``) is the
-    base contract the runner relies on.
+    base contract the runner relies on.  The runner :meth:`bind`\\ s the
+    execution context before entering, which lets an exceptional
+    ``__exit__`` emit the terminal ``sweep_abort`` event — without it,
+    a Ctrl-C'd trace would leave its in-flight jobs looking
+    forever-running to ``trace watch``/``trace show``.
     """
 
     name: str = "executor"
     #: Whether worker processes benefit from the parent pre-training the
     #: workload weights into the on-disk cache before fan-out.
     needs_prewarm: bool = False
+    _context: Optional[ExecutionContext] = None
+
+    def bind(self, context: ExecutionContext) -> "Executor":
+        """Attach the execution context for the duration of one graph run."""
+        self._context = context
+        return self
+
+    def _emit_abort(self, exc_type, exc) -> None:
+        """Record the abnormal unwind on the trace (once), then flush.
+
+        Idempotent: the bound context is consumed, so a subclass calling
+        this before its teardown suppresses the base ``__exit__``'s call.
+        """
+        context, self._context = self._context, None
+        if exc_type is None or context is None:
+            return
+        tracer = context.tracer
+        if not tracer.enabled:
+            return
+        tracer.emit(
+            telemetry_events.SWEEP_ABORT,
+            reason=exc_type.__name__,
+            error=str(exc) or None,
+        )
+        tracer.flush()
 
     def __enter__(self) -> "Executor":
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
+        self._emit_abort(exc_type, exc)
         return False
 
     def run_wave(
@@ -267,6 +298,9 @@ class ProcessPoolExecutor(Executor):
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
+        # Abort is recorded before teardown so its timestamp marks the
+        # unwind instant, not the (possibly slow) worker shutdown.
+        self._emit_abort(exc_type, exc)
         pool, self._pool = self._pool, None
         if pool is not None:
             if exc_type is None:
@@ -466,6 +500,8 @@ def run_shard_manifest(
     tracer: Tracer = NULL_TRACER
     if telemetry.get("dir"):
         tracer = process_tracer(telemetry["dir"], telemetry.get("run_id"))
+        # Each shard subprocess contributes its own resource_sample stream.
+        ensure_process_sampler(tracer)
     failure_log = FailureLog(store)
     statuses: List[Dict[str, object]] = []
     pending: List[Tuple[Optional[int], JobSpec]] = []
@@ -579,6 +615,7 @@ class ShardedExecutor(Executor):
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
+        self._emit_abort(exc_type, exc)
         procs, self._procs = self._procs, []
         if exc_type is not None:
             for proc in procs:

@@ -67,6 +67,11 @@ from repro.experiments.executors import (
     resolve_executor,
 )
 from repro.telemetry import events as telemetry_events
+from repro.telemetry.resources import (
+    JobResourceProbe,
+    ResourceSampler,
+    ensure_process_sampler,
+)
 from repro.telemetry.tracer import (
     NULL_TRACER,
     Tracer,
@@ -510,9 +515,10 @@ def execute_job(
     """Execute one atomic job, persist its artifact, return its key.
 
     Idempotent: if the store already holds the key, nothing is computed.
-    Timing is recorded out-of-band either way: a ``<store>/meta/<key>.json``
-    sidecar (``duration_s``, ``worker``) always, plus job lifecycle events
-    on ``tracer`` when tracing.  ``trace_fields`` carries scheduling
+    Timing and resource usage are recorded out-of-band either way: a
+    ``<store>/meta/<key>.json`` sidecar (``duration_s``, ``worker``, plus
+    ``cpu_s``/``max_rss_kb`` where the platform reports them) always, and
+    job lifecycle events on ``tracer`` when tracing.  ``trace_fields`` carries scheduling
     context (index/wave/shard/deps) onto the events; its ``submitted_mono``
     entry — the monotonic instant the job's wave was handed to the
     executor — becomes ``queue_wait_s`` on the start event.  Neither
@@ -537,6 +543,7 @@ def execute_job(
         ),
         **fields,
     )
+    probe = JobResourceProbe()
     started = time.perf_counter()
     try:
         if job.kind == "evaluate":
@@ -564,14 +571,19 @@ def execute_job(
         )
         raise
     duration = time.perf_counter() - started
+    resources = probe.finish()
     tracer.emit(
         telemetry_events.JOB_FINISH,
         key=key, kind=job.kind, duration_s=duration, outcome="computed",
+        **resources,
         **fields,
     )
     store.save_meta(
         key,
-        {"kind": job.kind, "duration_s": duration, "worker": worker_name(tracer)},
+        {
+            "kind": job.kind, "duration_s": duration,
+            "worker": worker_name(tracer), **resources,
+        },
     )
     logger.debug("job %s (%s) in %.2fs", key[:12], job.kind, duration)
     return key
@@ -600,6 +612,9 @@ def _worker_execute(
     if trace:
         trace = dict(trace)
         tracer = process_tracer(trace.pop("dir"), trace.pop("run_id", None))
+        # One resource-sampling thread per pool worker, started on the
+        # worker's first traced job and living as long as the pool does.
+        ensure_process_sampler(tracer)
         trace_fields = trace
     if inject_failure:
         raise _injected_error(job)
@@ -702,6 +717,9 @@ def execute_graph(
     failed_cause: Dict[str, str] = {}
     waves = graph.waves()
     tracer = context.tracer
+    # Binding gives the executor's __exit__ access to the tracer, so an
+    # exceptional unwind can emit the terminal sweep_abort event.
+    executor.bind(context)
     with executor:
         for number, wave in enumerate(waves, start=1):
             # A sharded child runs one wave of its *parent's* graph: keep
@@ -853,6 +871,7 @@ def run_sweep(
     executor: Union[str, Executor, None] = None,
     shards: int = 2,
     trace: Union[bool, str, Tracer, None] = None,
+    history: Union[str, Path, None] = None,
 ) -> SweepRun:
     """Execute a sweep against a result store and aggregate its table.
 
@@ -899,6 +918,13 @@ def run_sweep(
         tracer costs one dynamic call per would-be event).  Tracing is
         strictly out-of-band: rows, records and store artifacts are
         byte-identical with it on or off.
+    history:
+        Path of a perf-history JSONL log (see
+        :mod:`repro.telemetry.history`).  When set *and* the sweep is
+        traced, a compact summary record (elapsed, critical path, cache
+        efficiency, per-kind quantiles, peak RSS) is appended after the
+        sweep completes.  ``None`` (default) records no history; untraced
+        sweeps never do (there is nothing to summarise).
 
     The returned :class:`SweepRun` carries rows in expansion order; the
     aggregate is identical whether the sweep ran serially, in parallel,
@@ -981,6 +1007,11 @@ def run_sweep(
         tracer.counter(telemetry_events.COUNTER_CACHE_HITS, stats.cached)
         tracer.counter(telemetry_events.COUNTER_CACHE_MISSES, len(pending))
         tracer.counter(telemetry_events.COUNTER_JOBS_TOTAL, stats.total)
+
+    # Periodic resource samples from the orchestrating process; pool
+    # workers and shard subprocesses start their own (see _worker_execute
+    # and run_shard_manifest).
+    sampler = ResourceSampler(tracer).start() if tracer.enabled else None
 
     if progress is not None:
         shared = sum(1 for node in graph if not node.indices)
@@ -1069,6 +1100,8 @@ def run_sweep(
     finally:
         # The trace ends cleanly even when the failure policy aborts the
         # sweep — a truncated run is exactly when the timeline matters.
+        if sampler is not None:
+            sampler.stop()
         if tracer.enabled:
             tracer.emit(
                 telemetry_events.SWEEP_FINISH,
@@ -1089,4 +1122,20 @@ def run_sweep(
     )
     run.telemetry_dir = telemetry_dir
     stats.elapsed_s = time.perf_counter() - started
+    if history is not None and telemetry_dir is not None:
+        # Best-effort by design: a malformed trace must never fail a sweep
+        # whose rows are already aggregated.
+        try:
+            from repro.telemetry.analysis import (
+                load_run, summarize, summary_to_jsonable,
+            )
+            from repro.telemetry.history import append_history, history_record
+
+            record = history_record(
+                summary_to_jsonable(summarize(load_run(telemetry_dir))),
+                executor=exec_instance.name,
+            )
+            append_history(history, record)
+        except Exception as error:  # noqa: BLE001 - history is advisory
+            logger.warning("perf-history append failed: %s", error)
     return run

@@ -1,15 +1,24 @@
-"""Out-of-band sweep telemetry: tracing, metrics and timeline analysis.
+"""Out-of-band sweep telemetry: tracing, metrics, live monitoring, history.
 
-Three layers:
+Six layers:
 
 * :mod:`repro.telemetry.events` — the event schema (names, envelope
   fields, counter names).
 * :mod:`repro.telemetry.tracer` — emission: :class:`JsonlTracer` writes
   per-process JSONL streams under ``<store>/telemetry/<run_id>/``;
   :data:`NULL_TRACER` is the disabled no-op.
+* :mod:`repro.telemetry.resources` — per-process resource metrics:
+  per-job CPU/peak-RSS probes and the periodic ``resource_sample``
+  daemon thread (stdlib ``getrusage`` + ``/proc``; no-op elsewhere).
 * :mod:`repro.telemetry.analysis` — reconstruction: pairs job events into
   a timeline, extracts the critical path, computes per-wave utilization,
   finds stragglers, and summarises cache efficiency.
+* :mod:`repro.telemetry.live` — live monitoring: an incremental tailer
+  over a growing run directory folded into sweep-state snapshots
+  (``trace watch``, ``run --progress``).
+* :mod:`repro.telemetry.history` — durable perf history: one JSONL
+  record per traced sweep plus two-gate regression comparison
+  (``trace history``, ``trace regress``).
 
 Telemetry never feeds back into job addressing or stored artifacts —
 traced and untraced sweeps produce byte-identical aggregates.
@@ -22,13 +31,40 @@ from repro.telemetry.analysis import (
     WaveStats,
     cache_summary,
     critical_path,
+    execution_to_dict,
     find_stragglers,
     kind_histogram,
     load_run,
+    quantile,
+    resource_summary,
     summarize,
+    summary_to_jsonable,
     wave_stats,
 )
 from repro.telemetry.events import TELEMETRY_DIRNAME, TELEMETRY_FORMAT
+from repro.telemetry.history import (
+    Regression,
+    append_history,
+    compare_records,
+    default_history_path,
+    find_baseline,
+    history_record,
+    load_history,
+)
+from repro.telemetry.live import (
+    RunTailer,
+    StreamTailer,
+    SweepState,
+    render,
+    watch,
+)
+from repro.telemetry.resources import (
+    JobResourceProbe,
+    ResourceSampler,
+    ensure_process_sampler,
+    resources_supported,
+    sample_resources,
+)
 from repro.telemetry.tracer import (
     NULL_TRACER,
     JsonlTracer,
@@ -50,27 +86,48 @@ __all__ = [
     "TELEMETRY_DIRNAME",
     "TELEMETRY_FORMAT",
     "JobExecution",
+    "JobResourceProbe",
     "JsonlTracer",
     "NULL_TRACER",
+    "Regression",
+    "ResourceSampler",
+    "RunTailer",
+    "StreamTailer",
     "Straggler",
+    "SweepState",
     "TraceRun",
     "Tracer",
     "WaveStats",
+    "append_history",
     "cache_summary",
+    "compare_records",
     "critical_path",
+    "default_history_path",
+    "ensure_process_sampler",
+    "execution_to_dict",
+    "find_baseline",
     "find_stragglers",
+    "history_record",
     "kind_histogram",
     "latest_run",
     "list_runs",
     "load_events",
+    "load_history",
     "load_run",
     "merge_events",
     "new_run_id",
     "process_tracer",
+    "quantile",
+    "render",
     "resolve_tracer",
+    "resource_summary",
+    "resources_supported",
     "run_directory",
+    "sample_resources",
     "summarize",
+    "summary_to_jsonable",
     "telemetry_root",
+    "watch",
     "wave_stats",
     "write_graph",
     "write_run_manifest",

@@ -48,13 +48,17 @@ class JobExecution:
     start_mono: float
     end_mono: Optional[float] = None
     duration_s: Optional[float] = None
-    outcome: str = "running"  # "computed" | "failed" | "running" (no close)
+    # "computed" | "failed" | "running" (no close yet) | "aborted" (no
+    # close and the run recorded a terminal sweep_abort after the start).
+    outcome: str = "running"
     index: Optional[int] = None
     wave: Optional[int] = None
     shard: Optional[int] = None
     queue_wait_s: Optional[float] = None
     error: Optional[str] = None
     deps: Tuple[str, ...] = ()
+    cpu_s: Optional[float] = None
+    max_rss_kb: Optional[float] = None
 
     @property
     def closed(self) -> bool:
@@ -155,6 +159,19 @@ class TraceRun:
                 "computed" if name == ev.JOB_FINISH else "failed"
             )
             execution.error = event.get("error")
+            if event.get("cpu_s") is not None:
+                execution.cpu_s = float(event["cpu_s"])
+            if event.get("max_rss_kb") is not None:
+                execution.max_rss_kb = float(event["max_rss_kb"])
+        # A terminal sweep_abort (executor __exit__ on Ctrl-C / exhausted
+        # failure budget) means no close is ever coming for the intervals
+        # still open at that instant: mark them aborted, not forever-running.
+        aborts = self.select(ev.SWEEP_ABORT)
+        if aborts:
+            abort_mono = max(float(e.get("t_mono", 0.0)) for e in aborts)
+            for execution in open_by_stream_key.values():
+                if execution.start_mono <= abort_mono:
+                    execution.outcome = "aborted"
         self._executions = executions
         return executions
 
@@ -345,8 +362,20 @@ def find_stragglers(
 # --------------------------------------------------------------------- #
 # Summaries
 # --------------------------------------------------------------------- #
+def quantile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation quantile of a non-empty sequence (0 <= q <= 1)."""
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = q * (len(ordered) - 1)
+    low = int(position)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = position - low
+    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+
 def kind_histogram(run: TraceRun) -> Dict[str, Dict[str, float]]:
-    """Per-kind duration stats over the closed executions."""
+    """Per-kind duration stats (incl. p50/p90) over the closed executions."""
     by_kind: Dict[str, List[float]] = {}
     for execution in run.executions():
         if execution.closed and execution.duration_s is not None:
@@ -357,10 +386,48 @@ def kind_histogram(run: TraceRun) -> Dict[str, Dict[str, float]]:
             "total_s": sum(durations),
             "mean_s": sum(durations) / len(durations),
             "min_s": min(durations),
+            "p50_s": quantile(durations, 0.5),
+            "p90_s": quantile(durations, 0.9),
             "max_s": max(durations),
         }
         for kind, durations in sorted(by_kind.items())
     }
+
+
+def resource_summary(run: TraceRun) -> Dict[str, float]:
+    """Peak RSS and total CPU across every stream of a run.
+
+    ``peak_rss_kb`` is the maximum high-water mark any participating
+    process reported (via periodic ``resource_sample`` events or the
+    ``max_rss_kb`` riding on ``job_finish``); ``cpu_total_s`` sums the
+    *last* cumulative CPU sample of each stream (``getrusage`` values are
+    per-process monotone, so the last sample is the process total so
+    far).  Empty on platforms without resource support.
+    """
+    peak = 0.0
+    cpu_by_stream: Dict[str, float] = {}
+    samples = 0
+    for event in run.events:
+        name = event.get("event")
+        if name == ev.RESOURCE_SAMPLE:
+            samples += 1
+            stream = str(event.get("stream", ""))
+            user = float(event.get("cpu_user_s", 0.0) or 0.0)
+            system = float(event.get("cpu_system_s", 0.0) or 0.0)
+            if user or system:
+                cpu_by_stream[stream] = user + system
+        elif name != ev.JOB_FINISH:
+            continue
+        if event.get("max_rss_kb") is not None:
+            peak = max(peak, float(event["max_rss_kb"]))
+    if not samples and peak == 0.0:
+        return {}
+    summary: Dict[str, float] = {"samples": float(samples)}
+    if peak:
+        summary["peak_rss_kb"] = peak
+    if cpu_by_stream:
+        summary["cpu_total_s"] = sum(cpu_by_stream.values())
+    return summary
 
 
 def cache_summary(run: TraceRun) -> Dict[str, float]:
@@ -381,6 +448,7 @@ def summarize(run: TraceRun) -> Dict[str, object]:
     """Everything ``trace summary`` prints, as one plain dict."""
     executions = [e for e in run.executions() if e.closed]
     failed = [e for e in executions if e.outcome == "failed"]
+    open_executions = [e for e in run.executions() if not e.closed]
     chain = critical_path(run)
     elapsed = run.elapsed_s()
     chain_s = sum(e.duration_s or 0.0 for e in chain)
@@ -392,6 +460,8 @@ def summarize(run: TraceRun) -> Dict[str, object]:
         "executed": len(executions),
         "ok": len(executions) - len(failed),
         "failed": len(failed),
+        "aborted": sum(1 for e in open_executions if e.outcome == "aborted"),
+        "running": sum(1 for e in open_executions if e.outcome == "running"),
         "cached": len(run.cached_keys()),
         "upstream_failed": len(run.upstream_failed_keys()),
         "duplicates": run.duplicate_keys(),
@@ -405,5 +475,34 @@ def summarize(run: TraceRun) -> Dict[str, object]:
         "stragglers": find_stragglers(run),
         "kinds": kind_histogram(run),
         "cache": cache_summary(run),
+        "resources": resource_summary(run),
         "counters": run.counters(),
     }
+
+
+def execution_to_dict(execution: JobExecution) -> Dict[str, object]:
+    """One job interval as a plain JSON-serializable dict (None dropped)."""
+    raw = dataclasses.asdict(execution)
+    raw["deps"] = list(execution.deps)
+    return {name: value for name, value in raw.items() if value is not None}
+
+
+def summary_to_jsonable(summary: Dict[str, object]) -> Dict[str, object]:
+    """A :func:`summarize` dict with every dataclass flattened to plain JSON.
+
+    This is the one serialization of a trace summary: ``trace summary
+    --json`` prints it, CI assertions parse it, and the perf-history layer
+    (:mod:`repro.telemetry.history`) ingests it — so machine consumers
+    never scrape the human-oriented summary lines.
+    """
+    jsonable = dict(summary)
+    jsonable["critical_path"] = [
+        execution_to_dict(e) for e in summary.get("critical_path", ())
+    ]
+    jsonable["waves"] = [
+        dataclasses.asdict(stats) for stats in summary.get("waves", ())
+    ]
+    jsonable["stragglers"] = [
+        dataclasses.asdict(straggler) for straggler in summary.get("stragglers", ())
+    ]
+    return jsonable

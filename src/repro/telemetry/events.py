@@ -57,6 +57,13 @@ TELEMETRY_DIRNAME = "telemetry"
 SWEEP_START = "sweep_start"   # sweep, executor, jobs, shards, total, cached, pending, scheduled, salt
 SWEEP_FINISH = "sweep_finish"  # elapsed_s, computed, failed, cached
 
+#: Terminal abort marker, emitted by the *executor's* ``__exit__`` when the
+#: sweep unwinds on an exception (Ctrl-C, first-failure abort,
+#: ``MaxFailuresExceeded``): ``reason`` (exception type name), ``error``.
+#: Consumers treat still-open job intervals as *aborted*, not
+#: forever-running; the emitting tracer is flushed immediately after.
+SWEEP_ABORT = "sweep_abort"
+
 # Prewarm span (parent process, around prewarm_workloads).
 PREWARM_START = "prewarm_start"
 PREWARM_FINISH = "prewarm_finish"  # duration_s
@@ -66,8 +73,14 @@ WAVE_START = "wave_start"     # wave, jobs
 WAVE_FINISH = "wave_finish"   # wave, duration_s
 
 # Per-job lifecycle (emitted by whichever process executes the job).
+# ``job_finish`` additionally carries the executing process's resource
+# deltas when the platform supports them (see
+# :mod:`repro.telemetry.resources`): ``cpu_s`` (user+system CPU seconds
+# consumed by the job) and ``max_rss_kb`` (the process's peak RSS at job
+# completion, in KiB — a per-process high-water mark, monotone across a
+# worker's successive jobs).
 JOB_START = "job_start"       # key, kind, index, wave, shard, deps, queue_wait_s
-JOB_FINISH = "job_finish"     # key, kind, ..., duration_s, outcome="computed"
+JOB_FINISH = "job_finish"     # key, kind, ..., duration_s, outcome="computed", cpu_s, max_rss_kb
 JOB_FAILED = "job_failed"     # key, kind, ..., duration_s, error
 JOB_CACHED = "job_cached"     # key, kind, index — store hit, nothing executed
 JOB_UPSTREAM_FAILED = "job_upstream_failed"  # key, cause_key, wave — not run
@@ -75,18 +88,32 @@ JOB_UPSTREAM_FAILED = "job_upstream_failed"  # key, cause_key, wave — not run
 #: A named monotonic counter sample: ``name``, ``value``.
 COUNTER = "counter"
 
+#: Periodic per-process resource sample (one per executor process —
+#: serial parent, pool worker, shard subprocess): ``cpu_user_s``,
+#: ``cpu_system_s``, ``max_rss_kb`` (``resource.getrusage``, cumulative
+#: for the process) and ``rss_kb`` (current ``/proc/self/status`` VmRSS,
+#: Linux only).  Absent fields mean the platform cannot report them; on
+#: platforms with no stdlib ``resource`` module no sample is emitted at
+#: all.
+RESOURCE_SAMPLE = "resource_sample"
+
 #: The events that open/close one job execution (used by the analysis
 #: layer to pair start/end records).
 JOB_OPEN_EVENTS = (JOB_START,)
 JOB_CLOSE_EVENTS = (JOB_FINISH, JOB_FAILED)
 
 ALL_EVENTS = (
-    SWEEP_START, SWEEP_FINISH,
+    SWEEP_START, SWEEP_FINISH, SWEEP_ABORT,
     PREWARM_START, PREWARM_FINISH,
     WAVE_START, WAVE_FINISH,
     JOB_START, JOB_FINISH, JOB_FAILED, JOB_CACHED, JOB_UPSTREAM_FAILED,
-    COUNTER,
+    COUNTER, RESOURCE_SAMPLE,
 )
+
+#: Events that terminate a run for live consumers (``trace watch``, the
+#: in-process ``run --progress`` renderer): once one is observed, no
+#: further job events are coming from this sweep.
+TERMINAL_EVENTS = (SWEEP_FINISH, SWEEP_ABORT)
 
 #: Counter names the runner emits (the analysis layer recognises these;
 #: arbitrary additional counters are allowed and surfaced verbatim).

@@ -1,0 +1,484 @@
+"""Live sweep monitoring: tail a growing telemetry run, fold to a snapshot.
+
+A traced sweep writes per-process ``events-<stream>.jsonl`` files under
+``<store>/telemetry/<run-id>/`` (see :mod:`repro.telemetry.tracer`).  This
+module follows such a directory *while it grows* — the progress protocol
+the ROADMAP's simulation-service daemon will speak — under the real-world
+constraints of that layout:
+
+* **No shared locks.**  Readers never coordinate with writers; each
+  stream file is append-only and written in whole lines, so the only
+  hazard is a *torn tail* (a final line still being written).
+  :class:`StreamTailer` consumes only complete newline-terminated lines
+  and carries the partial remainder to the next poll.
+* **Streams appear over time.**  Pool workers and shard subprocesses
+  create their stream files on first event; :class:`RunTailer` re-globs
+  the directory every poll and starts tailing newcomers mid-run.
+* **Cross-stream order is loose.**  Within one stream, records are
+  ordered; across streams they arrive whenever the writer flushed.
+  :class:`SweepState` is therefore an order-tolerant fold: per-job status
+  only moves "forward" (pending → running → closed), so a late-arriving
+  ``job_start`` can never un-finish a job another poll already closed.
+
+:func:`watch` ties the three together into a snapshot iterator (used by
+``trace watch`` and ``run --progress``); :func:`render` turns one
+snapshot into terminal text, with a pure-ASCII mode for dumb terminals.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Union
+
+from repro.telemetry import events as ev
+from repro.telemetry.tracer import (
+    GRAPH_NAME,
+    load_graph,
+    load_run_manifest,
+)
+
+#: Default polling cadence of :func:`watch`.
+DEFAULT_POLL_INTERVAL_S = 0.5
+
+# Per-job status lattice: a status only ever moves to a strictly higher
+# rank, which is what makes the fold safe under loose cross-stream
+# ordering (a stale "running" can't overwrite an observed close).
+_CLOSED_STATUSES = ("ok", "failed", "cached", "upstream_failed")
+_STATUS_RANK = {
+    "pending": 0,
+    "running": 1,
+    "aborted": 2,
+    **{status: 3 for status in _CLOSED_STATUSES},
+}
+
+
+class StreamTailer:
+    """Incrementally read complete JSONL lines from one growing file.
+
+    Keeps a byte offset plus the bytes of any unterminated final line;
+    each :meth:`poll` returns only the records whose closing newline has
+    landed.  A line that never parses (torn write that *looks* complete,
+    or garbage) is skipped, matching :func:`~repro.telemetry.tracer.
+    load_events`'s tolerance.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._offset = 0
+        self._partial = b""
+
+    def poll(self) -> List[Dict[str, object]]:
+        try:
+            with open(self.path, "rb") as handle:
+                handle.seek(self._offset)
+                chunk = handle.read()
+        except OSError:
+            return []
+        if not chunk:
+            return []
+        self._offset += len(chunk)
+        data = self._partial + chunk
+        lines = data.split(b"\n")
+        # The final element is everything after the last newline: the torn
+        # tail (possibly empty).  Keep it for the next poll.
+        self._partial = lines.pop()
+        records: List[Dict[str, object]] = []
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                continue
+        return records
+
+
+class RunTailer:
+    """Tail every stream of a (possibly still materialising) run directory.
+
+    The directory itself may not exist yet — ``run --progress`` starts
+    watching before ``run_sweep`` has emitted anything.  Each poll
+    re-globs for newly appeared ``events-*.jsonl`` streams and re-reads
+    ``graph.json`` when it changed (shard children merge their local
+    graphs into it mid-run).
+    """
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        self._tailers: Dict[Path, StreamTailer] = {}
+        self._graph_stamp: Optional[tuple] = None
+        self.graph: Dict[str, Dict[str, object]] = {}
+
+    def _refresh_graph(self) -> None:
+        path = self.directory / GRAPH_NAME
+        try:
+            stat = path.stat()
+        except OSError:
+            return
+        stamp = (stat.st_mtime_ns, stat.st_size)
+        if stamp == self._graph_stamp:
+            return
+        try:
+            self.graph = load_graph(self.directory)
+            self._graph_stamp = stamp
+        except (json.JSONDecodeError, OSError):
+            pass  # mid-rewrite; retry next poll
+
+    def manifest(self) -> Dict[str, object]:
+        try:
+            return load_run_manifest(self.directory)
+        except (json.JSONDecodeError, OSError):
+            return {}
+
+    def poll(self) -> List[Dict[str, object]]:
+        """New complete records across all streams, batch-ordered by
+        ``(t_mono, stream, seq)`` (the global ordering within one poll;
+        :class:`SweepState` tolerates the cross-poll reordering)."""
+        self._refresh_graph()
+        for path in sorted(self.directory.glob("events-*.jsonl")):
+            if path not in self._tailers:
+                self._tailers[path] = StreamTailer(path)
+        batch: List[Dict[str, object]] = []
+        for tailer in self._tailers.values():
+            batch.extend(tailer.poll())
+        batch.sort(
+            key=lambda e: (
+                float(e.get("t_mono", 0.0)),
+                str(e.get("stream", "")),
+                int(e.get("seq", 0)),
+            )
+        )
+        return batch
+
+
+class SweepState:
+    """An incremental, order-tolerant fold of sweep events.
+
+    Feed it events (any interleaving that preserves per-stream order) via
+    :meth:`apply` plus the scheduled graph via :meth:`ingest_graph`;
+    :meth:`snapshot` produces the plain-dict summary that ``trace watch``
+    renders and tests assert on.
+    """
+
+    def __init__(self) -> None:
+        self.run_id: Optional[str] = None
+        self.sweep: Optional[str] = None
+        self.executor: Optional[str] = None
+        self.terminal = False
+        self.outcome: Optional[str] = None  # "finished" | "aborted"
+        self.total: Optional[int] = None  # scheduled jobs per sweep_start
+        self.start_mono: Optional[float] = None
+        self.last_mono = 0.0
+        self._status: Dict[str, str] = {}
+        self._start_by_key: Dict[str, float] = {}
+        self._stream_by_key: Dict[str, str] = {}
+        self._kind_by_key: Dict[str, str] = {}
+        self._wave_by_key: Dict[str, Optional[int]] = {}
+        self._wave_totals: Dict[int, int] = {}
+        self._durations_by_kind: Dict[str, List[float]] = {}
+        self._job_streams: set = set()
+        self._peak_rss_kb = 0.0
+        self.counters: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------ #
+    def _advance(self, key: str, status: str) -> None:
+        current = self._status.get(key, "pending")
+        if _STATUS_RANK[status] > _STATUS_RANK[current]:
+            self._status[key] = status
+
+    def _note_job(self, event: Dict[str, object], key: str) -> None:
+        if event.get("kind") is not None:
+            self._kind_by_key[key] = str(event["kind"])
+        if event.get("wave") is not None:
+            self._wave_by_key[key] = int(event["wave"])  # type: ignore[arg-type]
+
+    def apply(self, event: Dict[str, object]) -> None:
+        name = event.get("event")
+        mono = float(event.get("t_mono", 0.0))
+        self.last_mono = max(self.last_mono, mono)
+        if self.run_id is None and event.get("run_id"):
+            self.run_id = str(event["run_id"])
+        key = str(event.get("key", ""))
+        if name == ev.SWEEP_START:
+            self.sweep = event.get("sweep") or self.sweep
+            self.executor = event.get("executor") or self.executor
+            if event.get("scheduled") is not None:
+                self.total = int(event["scheduled"])  # type: ignore[arg-type]
+            self.start_mono = mono
+        elif name == ev.JOB_START:
+            self._advance(key, "running")
+            self._start_by_key.setdefault(key, mono)
+            self._stream_by_key[key] = str(event.get("stream", ""))
+            self._job_streams.add(event.get("stream"))
+            self._note_job(event, key)
+        elif name == ev.JOB_FINISH:
+            self._advance(key, "ok")
+            self._job_streams.add(event.get("stream"))
+            self._note_job(event, key)
+            if event.get("duration_s") is not None:
+                self._durations_by_kind.setdefault(
+                    str(event.get("kind", "?")), []
+                ).append(float(event["duration_s"]))  # type: ignore[arg-type]
+            if event.get("max_rss_kb") is not None:
+                self._peak_rss_kb = max(
+                    self._peak_rss_kb, float(event["max_rss_kb"])  # type: ignore[arg-type]
+                )
+        elif name == ev.JOB_FAILED:
+            self._advance(key, "failed")
+            self._note_job(event, key)
+        elif name == ev.JOB_CACHED:
+            self._advance(key, "cached")
+            self._note_job(event, key)
+        elif name == ev.JOB_UPSTREAM_FAILED:
+            self._advance(key, "upstream_failed")
+        elif name == ev.WAVE_START:
+            if event.get("wave") is not None and event.get("jobs") is not None:
+                self._wave_totals[int(event["wave"])] = int(event["jobs"])  # type: ignore[arg-type]
+        elif name == ev.COUNTER:
+            self.counters[str(event.get("name"))] = float(event.get("value", 0.0))  # type: ignore[arg-type]
+        elif name == ev.RESOURCE_SAMPLE:
+            if event.get("max_rss_kb") is not None:
+                self._peak_rss_kb = max(
+                    self._peak_rss_kb, float(event["max_rss_kb"])  # type: ignore[arg-type]
+                )
+        elif name == ev.SWEEP_FINISH:
+            self.terminal = True
+            self.outcome = self.outcome or "finished"
+        elif name == ev.SWEEP_ABORT:
+            self.terminal = True
+            self.outcome = "aborted"
+            for job_key, status in list(self._status.items()):
+                if status == "running":
+                    self._status[job_key] = "aborted"
+
+    def ingest_graph(self, graph: Dict[str, Dict[str, object]]) -> None:
+        """Learn the scheduled job set (keys + kinds) from ``graph.json``,
+        so never-started jobs are counted as *pending*, with kinds for the
+        ETA model."""
+        for key, node in graph.items():
+            self._status.setdefault(key, "pending")
+            if node.get("kind") is not None:
+                self._kind_by_key.setdefault(key, str(node["kind"]))
+
+    # ------------------------------------------------------------------ #
+    def _eta_s(self, counts: Dict[str, int]) -> Optional[float]:
+        """Crude remaining-time estimate from per-kind mean durations.
+
+        Pending jobs cost their kind's observed mean (overall mean when
+        the kind hasn't completed yet); running jobs cost the remainder of
+        that mean past their current age.  The sum is divided by the
+        number of streams observed executing — i.e. assumes the current
+        parallelism holds.  ``None`` until at least one job has finished.
+        """
+        if not self._durations_by_kind:
+            return None
+        means = {
+            kind: sum(values) / len(values)
+            for kind, values in self._durations_by_kind.items()
+        }
+        all_values = [d for values in self._durations_by_kind.values() for d in values]
+        overall = sum(all_values) / len(all_values)
+        work = 0.0
+        for key, status in self._status.items():
+            mean = means.get(self._kind_by_key.get(key, ""), overall)
+            if status == "pending":
+                work += mean
+            elif status == "running":
+                age = self.last_mono - self._start_by_key.get(key, self.last_mono)
+                work += max(mean - age, 0.0)
+        if counts["pending"] == 0 and counts["running"] == 0:
+            return 0.0
+        streams = max(len(self._job_streams), 1)
+        return work / streams
+
+    def snapshot(self) -> Dict[str, object]:
+        counts = {
+            status: 0
+            for status in (
+                "pending", "running", "ok", "failed",
+                "cached", "upstream_failed", "aborted",
+            )
+        }
+        for status in self._status.values():
+            counts[status] += 1
+        done = sum(counts[s] for s in _CLOSED_STATUSES) + counts["aborted"]
+        # `scheduled` from sweep_start excludes already-cached jobs (they
+        # never enter the graph), but their job_cached events land in
+        # _status — the larger of the two is the honest denominator.
+        total = max(self.total or 0, len(self._status))
+        running_jobs = [
+            {
+                "key": key,
+                "kind": self._kind_by_key.get(key, "?"),
+                "wave": self._wave_by_key.get(key),
+                "stream": self._stream_by_key.get(key, ""),
+                "age_s": max(self.last_mono - started, 0.0),
+            }
+            for key, started in sorted(self._start_by_key.items())
+            if self._status.get(key) == "running"
+        ]
+        waves = []
+        for wave in sorted(self._wave_totals):
+            members = [
+                self._status[key]
+                for key, key_wave in self._wave_by_key.items()
+                if key_wave == wave and key in self._status
+            ]
+            wave_running = members.count("running")
+            wave_done = sum(
+                1 for status in members
+                if status in _CLOSED_STATUSES or status == "aborted"
+            )
+            waves.append(
+                {
+                    "wave": wave,
+                    "jobs": self._wave_totals[wave],
+                    "done": wave_done,
+                    "running": wave_running,
+                    "pending": max(
+                        self._wave_totals[wave] - wave_done - wave_running, 0
+                    ),
+                }
+            )
+        snapshot: Dict[str, object] = {
+            "run_id": self.run_id,
+            "sweep": self.sweep,
+            "executor": self.executor,
+            "terminal": self.terminal,
+            "outcome": self.outcome,
+            "total": total,
+            "done": done,
+            "counts": counts,
+            "waves": waves,
+            "running_jobs": running_jobs,
+            "elapsed_s": (
+                self.last_mono - self.start_mono
+                if self.start_mono is not None
+                else None
+            ),
+            "eta_s": self._eta_s(counts),
+            "counters": dict(self.counters),
+        }
+        if self._peak_rss_kb:
+            snapshot["peak_rss_kb"] = self._peak_rss_kb
+        return snapshot
+
+
+# --------------------------------------------------------------------- #
+# Watch loop + rendering
+# --------------------------------------------------------------------- #
+def watch(
+    directory: Union[str, Path],
+    interval_s: float = DEFAULT_POLL_INTERVAL_S,
+    timeout_s: Optional[float] = None,
+) -> Iterator[Dict[str, object]]:
+    """Yield sweep-state snapshots while a run directory grows.
+
+    One snapshot per poll; the final snapshot has ``terminal=True`` when
+    the sweep recorded a terminal event (``sweep_finish``/``sweep_abort``)
+    — the iterator then stops.  ``timeout_s`` bounds total watch time
+    (the last yielded snapshot simply won't be terminal); ``None`` waits
+    indefinitely.
+    """
+    tailer = RunTailer(directory)
+    state = SweepState()
+    manifest = tailer.manifest()
+    if manifest.get("sweep"):
+        state.sweep = str(manifest["sweep"])
+    if manifest.get("executor"):
+        state.executor = str(manifest["executor"])
+    deadline = time.monotonic() + timeout_s if timeout_s is not None else None
+    while True:
+        for event in tailer.poll():
+            state.apply(event)
+        if tailer.graph:
+            state.ingest_graph(tailer.graph)
+        yield state.snapshot()
+        if state.terminal:
+            return
+        if deadline is not None and time.monotonic() >= deadline:
+            return
+        time.sleep(interval_s)
+
+
+def _format_age(seconds: float) -> str:
+    if seconds >= 90:
+        return f"{seconds / 60:.1f}m"
+    return f"{seconds:.1f}s"
+
+
+def render(
+    snapshot: Dict[str, object],
+    ascii_only: bool = False,
+    width: int = 40,
+    max_running: int = 6,
+) -> str:
+    """One snapshot as terminal text (multi-line, no trailing newline).
+
+    ``ascii_only`` restricts the whole rendering to 7-bit ASCII — bar
+    glyphs and separators included — for non-TTY sinks and ``--ascii``;
+    the default uses block glyphs.
+    """
+    fill, empty = ("#", "-") if ascii_only else ("█", "░")
+    sep = " | " if ascii_only else " · "
+    ellipsis = "..." if ascii_only else "…"
+    counts: Dict[str, int] = snapshot.get("counts", {})  # type: ignore[assignment]
+    total = int(snapshot.get("total") or 0)
+    done = int(snapshot.get("done") or 0)
+    fraction = done / total if total else 0.0
+    filled = int(round(fraction * width))
+    bar = fill * filled + empty * (width - filled)
+
+    header_bits = []
+    if snapshot.get("sweep"):
+        header_bits.append(f"sweep {snapshot['sweep']}")
+    if snapshot.get("executor"):
+        header_bits.append(f"executor {snapshot['executor']}")
+    if snapshot.get("run_id"):
+        header_bits.append(f"run {snapshot['run_id']}")
+    lines = []
+    if header_bits:
+        lines.append(sep.join(header_bits))
+
+    status_bits = [f"{done}/{total}" if total else f"{done} done"]
+    for label in ("ok", "cached", "failed", "upstream_failed", "aborted"):
+        if counts.get(label):
+            status_bits.append(f"{counts[label]} {label.replace('_', ' ')}")
+    status_bits.append(f"{counts.get('running', 0)} running")
+    status_bits.append(f"{counts.get('pending', 0)} pending")
+    if snapshot.get("elapsed_s") is not None:
+        status_bits.append(f"elapsed {_format_age(float(snapshot['elapsed_s']))}")  # type: ignore[arg-type]
+    if snapshot.get("eta_s") is not None and not snapshot.get("terminal"):
+        status_bits.append(f"eta ~{_format_age(float(snapshot['eta_s']))}")  # type: ignore[arg-type]
+    if snapshot.get("peak_rss_kb"):
+        status_bits.append(
+            f"peak rss {float(snapshot['peak_rss_kb']) / 1024:.0f} MiB"  # type: ignore[arg-type]
+        )
+    lines.append(f"[{bar}] " + sep.join(status_bits))
+
+    for wave in snapshot.get("waves", ()):  # type: ignore[union-attr]
+        bits = [f"{wave['done']}/{wave['jobs']} done"]
+        if wave["running"]:
+            bits.append(f"{wave['running']} running")
+        if wave["pending"]:
+            bits.append(f"{wave['pending']} pending")
+        lines.append(f"  wave {wave['wave']}: " + ", ".join(bits))
+
+    running_jobs = list(snapshot.get("running_jobs", ()))  # type: ignore[arg-type]
+    for job in running_jobs[:max_running]:
+        where = f" wave {job['wave']}" if job.get("wave") is not None else ""
+        lines.append(
+            f"  running {str(job['key'])[:12]} {job['kind']}"
+            f" ({_format_age(float(job['age_s']))}{where})"
+        )
+    if len(running_jobs) > max_running:
+        lines.append(
+            f"  {ellipsis} and {len(running_jobs) - max_running} more running"
+        )
+
+    if snapshot.get("terminal"):
+        lines.append(f"sweep {snapshot.get('outcome') or 'finished'}")
+    return "\n".join(lines)
