@@ -20,15 +20,19 @@ Quickstart::
 from repro.experiments.executors import (
     ExecutionContext,
     Executor,
+    LocalSubprocessTransport,
     ProcessPoolExecutor,
+    RemoteExecutor,
     SerialExecutor,
     ShardJobFailed,
     ShardedExecutor,
+    Transport,
     load_shard_manifest,
     manifest_result_path,
     plan_shards,
     resolve_executor,
     run_shard_manifest,
+    shard_status_outcome,
     write_shard_manifests,
 )
 from repro.experiments.presets import available_presets, build_preset
@@ -65,6 +69,7 @@ from repro.experiments.spec import (
 from repro.experiments.store import (
     FailureLog,
     ResultStore,
+    StoreLock,
     code_version_salt,
     job_key,
 )
@@ -79,18 +84,22 @@ __all__ = [
     "FailureLog",
     "JobGraph",
     "JobSpec",
+    "LocalSubprocessTransport",
     "MaxFailuresExceeded",
     "NoiseScenario",
     "PowerSpec",
     "ProcessPoolExecutor",
+    "RemoteExecutor",
     "ResultStore",
     "ScheduledJob",
     "SerialExecutor",
     "ShardJobFailed",
     "ShardedExecutor",
+    "StoreLock",
     "SweepRun",
     "SweepRunStats",
     "SweepSpec",
+    "Transport",
     "UpstreamFailed",
     "WorkloadSpec",
     "aggregate_sweep",
@@ -110,6 +119,7 @@ __all__ = [
     "resolve_executor",
     "run_shard_manifest",
     "run_sweep",
+    "shard_status_outcome",
     "worker_name",
     "write_shard_manifests",
 ]

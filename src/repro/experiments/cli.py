@@ -32,10 +32,14 @@ default and spelled out only for scripts that want to be explicit.  Use
 ``--force`` to discard the sweep's cached artifacts and recompute.
 
 ``--executor`` selects how pending jobs run: ``serial`` (in-process),
-``process`` (a worker pool of ``--jobs`` processes) or ``sharded``
+``process`` (a worker pool of ``--jobs`` processes), ``sharded``
 (``--shards`` independent subprocesses per scheduler wave, driving the same
-manifests as the ``shard`` subcommand).  Omitted, it keeps the historical
-default: a process pool iff ``--jobs`` > 1.
+manifests as the ``shard`` subcommand) or ``remote`` (manifests dispatched
+to ``--workers`` workers over a transport, each against a private synced
+store merged back on return, with dropped-shard retry and straggler
+re-dispatch — ``--force-redispatch`` forces a duplicate backup attempt per
+shard).  Omitted, it keeps the historical default: a process pool iff
+``--jobs`` > 1.
 
 Failures: a job that raises is recorded (spec + traceback) in the store's
 failure log and surfaced by ``show`` together with each entry's age;
@@ -62,6 +66,7 @@ from typing import List, Optional, Union
 
 from repro.experiments.executors import (
     EXECUTOR_NAMES,
+    RemoteExecutor,
     load_shard_manifest,
     manifest_result_path,
     run_shard_manifest,
@@ -275,6 +280,13 @@ def build_parser() -> argparse.ArgumentParser:
                           "--jobs > 1, else serial)")
     run.add_argument("--shards", type=int, default=2, metavar="N",
                      help="shard count of --executor sharded (default 2)")
+    run.add_argument("--workers", type=int, default=2, metavar="N",
+                     help="dispatch fan-out of --executor remote (default 2)")
+    run.add_argument("--force-redispatch", action="store_true",
+                     help="--executor remote: dispatch a duplicate backup "
+                          "attempt of every shard immediately (exercises "
+                          "the straggler re-dispatch path; results are "
+                          "byte-identical by construction)")
     run.add_argument("--resume", action="store_true", default=True,
                      help="skip jobs already in the store (default)")
     run.add_argument("--force", action="store_true",
@@ -695,8 +707,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
             progress=None if args.progress else print,
             max_failures=args.max_failures,
             inject_failures=args.inject_failure or (),
-            executor=args.executor,
+            executor=(
+                RemoteExecutor(workers=args.workers, force_redispatch=True)
+                if args.executor == "remote" and args.force_redispatch
+                else args.executor
+            ),
             shards=args.shards,
+            workers=args.workers,
             trace=trace_arg,
             history=history,
         )

@@ -1,7 +1,7 @@
 """The executor layer: pluggable strategies for running scheduled waves.
 
 The scheduler (:mod:`repro.experiments.scheduler`) decides *what* runs and
-in *which order*; an :class:`Executor` decides *where*.  Three built-ins:
+in *which order*; an :class:`Executor` decides *where*.  Four built-ins:
 
 * :class:`SerialExecutor` — in-process, one job at a time.  The per-process
   workload/artifact memos make consecutive jobs cheap; this is the
@@ -17,6 +17,13 @@ in *which order*; an :class:`Executor` decides *where*.  Three built-ins:
   merge``): because artifacts are content-addressed and writes are atomic,
   shards never coordinate — at worst two shards compute the same shared
   sibling and store identical bytes.
+* :class:`RemoteExecutor` — the cluster-shaped strategy: shard manifests
+  dispatched over a pluggable :class:`Transport`
+  (:class:`LocalSubprocessTransport` today, SSH later) to workers with
+  *private* per-task stores, synced before dispatch and merged on return
+  (:meth:`ResultStore.merge_from`), with dropped-shard retry and two-gate
+  straggler re-dispatch — duplicate execution is harmless by construction
+  (content addressing + the store's cross-process locking).
 
 Executors are context managers, and **cancellation lives here**: leaving
 the ``with`` block on an exception (Ctrl-C, first-failure abort,
@@ -38,6 +45,7 @@ import concurrent.futures
 import dataclasses
 import json
 import os
+import statistics
 import subprocess
 import sys
 import tempfile
@@ -47,7 +55,13 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.experiments.scheduler import ScheduledJob, UpstreamFailed
 from repro.experiments.spec import ExperimentSpec, JobSpec, SweepSpec
-from repro.experiments.store import ResultStore, code_version_salt, job_key
+from repro.experiments.store import (
+    FailureLog,
+    ResultStore,
+    _stage_tmp,
+    code_version_salt,
+    job_key,
+)
 from repro.telemetry import events as telemetry_events
 from repro.telemetry.resources import ensure_process_sampler
 from repro.telemetry.tracer import NULL_TRACER, Tracer, process_tracer
@@ -55,7 +69,7 @@ from repro.utils.logging import get_logger
 
 logger = get_logger("experiments.executors")
 
-EXECUTOR_NAMES = ("serial", "process", "sharded")
+EXECUTOR_NAMES = ("serial", "process", "sharded", "remote")
 
 #: Manifest schema marker (bump on incompatible manifest layout changes).
 SHARD_MANIFEST_FORMAT = "repro-shard-manifest/v1"
@@ -216,11 +230,13 @@ def resolve_executor(
     executor: Union[str, Executor, None] = None,
     jobs: int = 1,
     shards: int = 2,
+    workers: int = 2,
 ) -> Executor:
     """Resolve the ``run_sweep`` executor argument to an instance.
 
     ``None`` keeps the historical behaviour: a process pool when
-    ``jobs > 1``, in-process otherwise.
+    ``jobs > 1``, in-process otherwise.  ``workers`` sizes the ``remote``
+    executor's dispatch fan-out (ignored otherwise).
     """
     if isinstance(executor, Executor):
         return executor
@@ -232,6 +248,8 @@ def resolve_executor(
         return ProcessPoolExecutor(max_workers=jobs)
     if executor == "sharded":
         return ShardedExecutor(shards=shards)
+    if executor == "remote":
+        return RemoteExecutor(workers=workers)
     raise ValueError(
         f"unknown executor {executor!r} (expected one of {EXECUTOR_NAMES})"
     )
@@ -463,6 +481,41 @@ def manifest_result_path(manifest_path: Union[str, Path]) -> Path:
     """Where ``shard run`` persists its per-job statuses."""
     manifest_path = Path(manifest_path)
     return manifest_path.with_name(f"{manifest_path.stem}.result.json")
+
+
+def shard_status_outcome(
+    node: ScheduledJob,
+    status: Optional[Dict[str, object]],
+    returncode: Optional[int],
+    stderr: bytes = b"",
+) -> Optional[BaseException]:
+    """Map one ``shard run`` status row to the runner-facing outcome.
+
+    The single translation both shard-dispatching executors
+    (:class:`ShardedExecutor` and :class:`RemoteExecutor`) apply, so a
+    status can never mean two different things depending on where the
+    shard ran.  ``None`` status means the shard produced no row for this
+    node (the subprocess died or the transport lost it): that is a
+    *not-logged* failure — the shard never got to persist a traceback.
+    """
+    if status is None:
+        detail = (stderr or b"").decode("utf-8", "replace").strip()
+        return ShardJobFailed(
+            f"shard subprocess exited {returncode} without a "
+            f"result for {node.key[:12]}"
+            + (f": {detail[-300:]}" if detail else ""),
+            logged=False,
+        )
+    if status["status"] in ("done", "cached"):
+        return None
+    if status["status"] == "upstream_failed":
+        upstream = UpstreamFailed(
+            str(status.get("error", "upstream failed")),
+            str(status.get("cause_key", node.key)),
+        )
+        upstream.logged = True  # the shard persisted the entry
+        return upstream
+    return ShardJobFailed(str(status.get("error", "failed")))
 
 
 def run_shard_manifest(
@@ -706,24 +759,419 @@ class ShardedExecutor(Executor):
                     (stderr or b"").decode("utf-8", "replace").strip()[-500:],
                 )
             for node in group:
-                status = statuses.get(node.key)
-                if status is None:
-                    detail = (stderr or b"").decode("utf-8", "replace").strip()
-                    yield node, ShardJobFailed(
-                        f"shard subprocess exited {proc.returncode} without a "
-                        f"result for {node.key[:12]}"
-                        + (f": {detail[-300:]}" if detail else ""),
-                        logged=False,
-                    )
-                elif status["status"] in ("done", "cached"):
-                    yield node, None
-                elif status["status"] == "upstream_failed":
-                    upstream = UpstreamFailed(
-                        str(status.get("error", "upstream failed")),
-                        str(status.get("cause_key", node.key)),
-                    )
-                    upstream.logged = True  # the shard persisted the entry
-                    yield node, upstream
-                else:
-                    yield node, ShardJobFailed(str(status.get("error", "failed")))
+                yield node, shard_status_outcome(
+                    node, statuses.get(node.key), proc.returncode, stderr
+                )
         self._procs = []
+
+
+# --------------------------------------------------------------------- #
+# Transports + the remote executor
+# --------------------------------------------------------------------- #
+class Transport:
+    """Where a dispatched shard command actually runs.
+
+    The seam that keeps :class:`RemoteExecutor` host-agnostic:
+    :meth:`submit` launches one ``shard run`` command and returns a
+    *handle* exposing the small ``Popen``-shaped surface the executor
+    polls — ``poll() -> Optional[int]`` (the exit code once finished),
+    ``wait(timeout)``, ``terminate()`` and a ``returncode`` attribute.
+    :class:`LocalSubprocessTransport` returns the ``Popen`` itself; an
+    SSH transport would return a wrapper that also ships the workspace
+    both ways; the chaos transports in ``tests/harness`` return handles
+    that drop, kill or duplicate shards to prove the executor's retry
+    and merge paths.
+    """
+
+    name = "transport"
+
+    def submit(
+        self,
+        command: Sequence[str],
+        stderr_path: Path,
+        env: Dict[str, str],
+    ):
+        """Start ``command`` with stderr captured to ``stderr_path``."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release transport resources (connections, agents); idempotent."""
+
+
+class LocalSubprocessTransport(Transport):
+    """Workers are plain subprocesses of the coordinating host.
+
+    The degenerate — but fully honest — transport: every dispatch runs
+    the real ``shard run`` CLI in its own process against the task's
+    private worker store, exactly as a multi-host transport would on a
+    remote machine that happens to share the filesystem.
+    """
+
+    name = "local"
+
+    def submit(
+        self,
+        command: Sequence[str],
+        stderr_path: Path,
+        env: Dict[str, str],
+    ) -> subprocess.Popen:
+        # stderr to a file, not a pipe: a verbose shard must never stall
+        # on pipe backpressure while the coordinator is polling siblings.
+        with open(stderr_path, "wb") as stderr_handle:
+            return subprocess.Popen(
+                list(command), env=env,
+                stdout=subprocess.DEVNULL, stderr=stderr_handle,
+            )
+
+
+@dataclasses.dataclass
+class _ShardAttempt:
+    """One dispatch of a shard manifest over the transport."""
+
+    handle: object
+    result_path: Path
+    stderr_path: Path
+    started: float
+    live: bool = True
+
+
+@dataclasses.dataclass
+class _ShardTask:
+    """One shard of a wave: its manifest, worker store and attempts."""
+
+    shard_index: int
+    group: List[ScheduledJob]
+    workspace: Path
+    manifest_path: Path
+    worker_store: ResultStore
+    attempts: List[_ShardAttempt] = dataclasses.field(default_factory=list)
+    statuses: Optional[Dict[str, Dict[str, object]]] = None
+    returncode: Optional[int] = None
+    stderr: bytes = b""
+    done: bool = False
+
+
+def _absorb_failures(
+    worker_store: ResultStore, main_store: ResultStore, keys: Sequence[str]
+) -> None:
+    """Copy a worker's failure-log entries (real tracebacks) into the main
+    store, so the runner's failure policy reads the worker's record instead
+    of re-wrapping a summary exception."""
+    src = FailureLog(worker_store)
+    dst = FailureLog(main_store)
+    for key in keys:
+        if not src.has(key):
+            continue
+        entry = src.path(key).read_bytes()
+        dst.root.mkdir(parents=True, exist_ok=True)
+        tmp = _stage_tmp(dst.path(key), lambda handle, _b=entry: handle.write(_b))
+        try:
+            with dst.lock.held():
+                os.replace(tmp, dst.path(key))
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
+
+
+class RemoteExecutor(Executor):
+    """Dispatch each wave's shard manifests to workers over a transport.
+
+    The cluster-shaped executor: every wave is partitioned round-robin
+    into at most ``workers`` shard manifests, and each manifest is
+    dispatched over the pluggable :class:`Transport` to run against a
+    *private per-task worker store* — never directly against the main
+    store.  Before dispatch, the coordinator syncs the task's stored
+    inputs (its nodes' satisfied and previously-computed dependencies)
+    into the worker store; when an attempt returns a result file, the
+    worker store is merged back (:meth:`ResultStore.merge_from`) and the
+    worker's failure-log entries are absorbed.  With the local transport
+    the sync is a file copy; the same two hooks are where an SSH
+    transport would rsync.
+
+    Fault tolerance, all proven by the chaos harness in ``tests/``:
+
+    * **Dropped shards** — an attempt that exits without a readable
+      result file is re-dispatched, up to ``max_dispatches`` attempts
+      per shard; only then does the shard report not-logged failures.
+    * **Stragglers** — once at least one shard of the wave has finished,
+      a still-running shard whose elapsed time trips the shared two-gate
+      threshold (:func:`repro.telemetry.analysis.exceeds_gates`:
+      ``straggler_factor`` × the median finished duration **and**
+      ``straggler_min_gap_s`` slower) gets a *backup* attempt dispatched
+      while the original keeps running; first attempt to produce a
+      result wins and the loser is terminated.  ``force_redispatch``
+      dispatches the backup immediately for every shard — the CI smoke
+      uses it to prove duplicate execution end to end.
+    * **Duplicate execution is harmless** — two attempts of one manifest
+      run concurrently against one worker store; content addressing plus
+      the store's cross-process locking make their writes identical and
+      atomic, so the merge result is byte-identical to a serial run.
+
+    Telemetry: dispatches emit ``shard_dispatch``/``shard_redispatch``
+    on the coordinator's stream, and (with the local transport) each
+    worker process appends its own event stream to the same
+    ``telemetry/<run-id>/`` directory, exactly like ``shard run``.
+    """
+
+    name = "remote"
+    needs_prewarm = True
+
+    def __init__(
+        self,
+        workers: int = 2,
+        transport: Optional[Transport] = None,
+        max_dispatches: int = 3,
+        straggler_factor: float = 2.0,
+        straggler_min_gap_s: float = 30.0,
+        poll_interval_s: float = 0.05,
+        force_redispatch: bool = False,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if max_dispatches < 1:
+            raise ValueError(f"max_dispatches must be >= 1, got {max_dispatches}")
+        self.workers = workers
+        self.transport = transport if transport is not None else LocalSubprocessTransport()
+        self.max_dispatches = max_dispatches
+        self.straggler_factor = straggler_factor
+        self.straggler_min_gap_s = straggler_min_gap_s
+        self.poll_interval_s = poll_interval_s
+        self.force_redispatch = force_redispatch
+        self._tmpdir: Optional[tempfile.TemporaryDirectory] = None
+        self._handles: List[object] = []
+        self._wave = 0
+
+    def __enter__(self) -> "RemoteExecutor":
+        self._tmpdir = tempfile.TemporaryDirectory(prefix="repro-remote-")
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._emit_abort(exc_type, exc)
+        handles, self._handles = self._handles, []
+        if exc_type is not None:
+            for handle in handles:
+                if handle.poll() is None:
+                    handle.terminate()
+            for handle in handles:
+                try:
+                    handle.wait(timeout=5)
+                except Exception:  # pragma: no cover - last resort
+                    pass
+        self.transport.close()
+        if self._tmpdir is not None:
+            self._tmpdir.cleanup()
+            self._tmpdir = None
+        return False
+
+    # ------------------------------------------------------------------ #
+    def _dispatch(
+        self,
+        task: _ShardTask,
+        context: ExecutionContext,
+        cache_dir: str,
+        env: Dict[str, str],
+        reason: Optional[str] = None,
+    ) -> None:
+        """Launch one (re-)attempt of a shard over the transport."""
+        attempt_index = len(task.attempts)
+        # Per-attempt result/stderr paths: two live attempts of one shard
+        # must never race on their reporting files (the worker *store* is
+        # shared on purpose — that race is the one the store resolves).
+        result_path = task.workspace / f"attempt{attempt_index}.result.json"
+        stderr_path = task.workspace / f"attempt{attempt_index}.stderr"
+        command = [
+            sys.executable, "-m", "repro.experiments", "shard", "run",
+            str(task.manifest_path),
+            "--store", str(task.worker_store.root),
+            "--cache-dir", cache_dir,
+            "--result", str(result_path),
+        ]
+        handle = self.transport.submit(command, stderr_path, env)
+        task.attempts.append(
+            _ShardAttempt(
+                handle=handle, result_path=result_path,
+                stderr_path=stderr_path, started=time.monotonic(),
+            )
+        )
+        self._handles.append(handle)
+        context.tracer.emit(
+            telemetry_events.SHARD_DISPATCH if reason is None
+            else telemetry_events.SHARD_REDISPATCH,
+            wave=context.wave, shard=task.shard_index, attempt=attempt_index,
+            transport=self.transport.name, jobs=len(task.group),
+            **({} if reason is None else {"reason": reason}),
+        )
+        if reason is not None:
+            logger.info(
+                "re-dispatching shard %d (attempt %d, reason=%s)",
+                task.shard_index, attempt_index, reason,
+            )
+
+    @staticmethod
+    def _read_statuses(attempt: _ShardAttempt) -> Optional[Dict[str, Dict[str, object]]]:
+        """The attempt's status rows keyed by artifact, ``None`` if unusable.
+
+        A missing or torn result file (the transport dropped the shard,
+        the worker died mid-write) is indistinguishable from "never ran"
+        on purpose: both re-dispatch.
+        """
+        if not attempt.result_path.exists():
+            return None
+        try:
+            rows = json.loads(attempt.result_path.read_text()).get("statuses")
+        except json.JSONDecodeError:
+            return None
+        if rows is None:
+            return None
+        return {str(row["key"]): row for row in rows}
+
+    def _finish_losers(self, task: _ShardTask) -> None:
+        """Terminate a finished task's still-live backup attempts."""
+        for attempt in task.attempts:
+            if not attempt.live:
+                continue
+            attempt.live = False
+            if attempt.handle.poll() is None:
+                attempt.handle.terminate()
+            try:
+                attempt.handle.wait(timeout=5)
+            except Exception:  # pragma: no cover - last resort
+                pass
+
+    def _poll(
+        self,
+        tasks: List[_ShardTask],
+        context: ExecutionContext,
+        cache_dir: str,
+        env: Dict[str, str],
+    ) -> None:
+        """Drive every task to completion: reap, retry drops, back up stragglers."""
+        durations: List[float] = []
+        while True:
+            pending = [task for task in tasks if not task.done]
+            if not pending:
+                return
+            for task in pending:
+                for attempt in task.attempts:
+                    if not attempt.live:
+                        continue
+                    code = attempt.handle.poll()
+                    if code is None:
+                        continue
+                    attempt.live = False
+                    task.returncode = code
+                    if attempt.stderr_path.exists():
+                        task.stderr = attempt.stderr_path.read_bytes()
+                    statuses = self._read_statuses(attempt)
+                    if statuses is not None and task.statuses is None:
+                        task.statuses = statuses
+                        task.done = True
+                        durations.append(time.monotonic() - attempt.started)
+                if task.done:
+                    self._finish_losers(task)
+                    continue
+                if not any(attempt.live for attempt in task.attempts):
+                    # Every attempt died without a result: a dropped shard.
+                    if len(task.attempts) < self.max_dispatches:
+                        self._dispatch(task, context, cache_dir, env, reason="no_result")
+                    else:
+                        task.done = True  # exhausted: reported as failures
+                    continue
+                if (
+                    durations
+                    and len(task.attempts) < self.max_dispatches
+                    and sum(1 for attempt in task.attempts if attempt.live) == 1
+                ):
+                    busy = time.monotonic() - min(
+                        attempt.started for attempt in task.attempts if attempt.live
+                    )
+                    from repro.telemetry.analysis import exceeds_gates  # lazy: cycle-free but heavy
+
+                    if exceeds_gates(
+                        busy, statistics.median(durations),
+                        self.straggler_factor, self.straggler_min_gap_s,
+                    ):
+                        self._dispatch(task, context, cache_dir, env, reason="straggler")
+            time.sleep(self.poll_interval_s)
+
+    # ------------------------------------------------------------------ #
+    def run_wave(
+        self, wave: Sequence[ScheduledJob], context: ExecutionContext
+    ) -> Iterator[WaveOutcome]:
+        if self._tmpdir is None:
+            raise RuntimeError("RemoteExecutor used outside its context")
+        self._wave += 1
+        groups = [group for group in _round_robin(list(wave), self.workers) if group]
+        env = _shard_subprocess_env()
+        # Pin --cache-dir like ShardedExecutor: hermetic throwaway cache
+        # when the caller configured none (weights are deterministic).
+        cache_dir = context.weights_cache_dir or str(
+            Path(self._tmpdir.name) / "weights-cache"
+        )
+        tasks: List[_ShardTask] = []
+        for shard_index, group in enumerate(groups):
+            workspace = Path(self._tmpdir.name) / (
+                f"wave{self._wave}-shard{shard_index}"
+            )
+            workspace.mkdir(parents=True, exist_ok=True)
+            worker_store = ResultStore(workspace / "store")
+            # Per-shard store sync, main -> worker: every stored artifact
+            # the shard's jobs will read (store-satisfied dependencies and
+            # dependencies computed in earlier waves).  Anything missed is
+            # recomputed by the worker — identical bytes either way.
+            inputs = sorted({
+                key
+                for node in group
+                for key in (*node.dependencies, *node.satisfied)
+                if context.store.has(key)
+            })
+            if inputs:
+                worker_store.merge_from(context.store, keys=inputs)
+            manifest = shard_manifest_dict(
+                [
+                    (node.index, node.job, context.should_inject(node))
+                    for node in group
+                ],
+                shard_index,
+                len(groups),
+                salt=context.salt,
+                telemetry=(
+                    {
+                        "dir": context.trace_dir,
+                        "run_id": context.trace_run_id,
+                        "wave": context.wave,
+                    }
+                    if context.trace_dir is not None
+                    else None
+                ),
+            )
+            manifest_path = workspace / "manifest.json"
+            manifest_path.write_text(json.dumps(manifest, indent=2, sort_keys=True))
+            task = _ShardTask(
+                shard_index=shard_index, group=list(group), workspace=workspace,
+                manifest_path=manifest_path, worker_store=worker_store,
+            )
+            tasks.append(task)
+            self._dispatch(task, context, cache_dir, env)
+            if self.force_redispatch:
+                self._dispatch(task, context, cache_dir, env, reason="forced")
+        self._poll(tasks, context, cache_dir, env)
+        self._handles = []
+        for task in tasks:
+            # Merge-on-return: fold the worker's artifacts into the main
+            # store (keys already present are skipped — identical bytes by
+            # content addressing), then absorb failure entries so the
+            # runner's policy reads the worker's real tracebacks.
+            context.store.merge_from(task.worker_store)
+            statuses = task.statuses or {}
+            _absorb_failures(
+                task.worker_store, context.store,
+                [
+                    key for key, row in statuses.items()
+                    if row.get("status") in ("failed", "upstream_failed")
+                ],
+            )
+            for node in task.group:
+                yield node, shard_status_outcome(
+                    node, statuses.get(node.key), task.returncode, task.stderr
+                )

@@ -870,6 +870,7 @@ def run_sweep(
     inject_failures: Collection[int] = (),
     executor: Union[str, Executor, None] = None,
     shards: int = 2,
+    workers: int = 2,
     trace: Union[bool, str, Tracer, None] = None,
     history: Union[str, Path, None] = None,
 ) -> SweepRun:
@@ -904,12 +905,14 @@ def run_sweep(
         end to end.  Injected failures follow the same logging/tolerance
         rules as real ones.
     executor:
-        ``"serial"``, ``"process"``, ``"sharded"``, an
+        ``"serial"``, ``"process"``, ``"sharded"``, ``"remote"``, an
         :class:`~repro.experiments.executors.Executor` instance, or
         ``None`` for the historical default (process pool iff
         ``jobs > 1``).
     shards:
         Shard count of the ``sharded`` executor (ignored otherwise).
+    workers:
+        Dispatch fan-out of the ``remote`` executor (ignored otherwise).
     trace:
         Telemetry: ``True`` records the sweep to a fresh run directory
         under ``<store>/telemetry/``, a string names the run id, a
@@ -935,7 +938,10 @@ def run_sweep(
         store = ResultStore(store)
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
-    exec_instance = resolve_executor(executor, jobs=jobs, shards=shards)
+    # Writers killed mid-stage (SIGKILL, lost workers) leave dead temp
+    # files behind; sweep them before scheduling so they never accumulate.
+    store.sweep_stale_tmps()
+    exec_instance = resolve_executor(executor, jobs=jobs, shards=shards, workers=workers)
     tracer = resolve_tracer(trace, store.root)
     telemetry_dir: Optional[str] = None
     if tracer.enabled and getattr(tracer, "directory", None) is not None:

@@ -24,6 +24,26 @@ travel this way so restored objects are bit-identical to the originals.
 Writes are atomic (temp file + ``os.replace``), so a sweep killed mid-write
 never leaves a truncated artifact for ``--resume`` to trip over.
 
+**Concurrent writers.**  Multiple *uncoordinated* processes may write one
+store: every commit (artifact pair, ``meta/`` sidecar, failure entry,
+force-delete) happens under an advisory ``fcntl`` write lock on
+``<store>/.lock`` (:class:`StoreLock`).  The lock scopes the *commit*, not
+the computation — temp files are staged outside it, so writers only
+serialise for the instant of the rename.  Because artifacts are
+content-addressed, two writers racing on one key stage **identical
+bytes**; the commit protocol keeps the first committed copy and discards
+the loser's staging (last-writer-wins would be equally correct — the
+winner's identity is unobservable).  The NPZ sibling and its JSON
+completion marker commit under a single lock hold, so no reader ever
+observes a JSON document whose arrays are missing, and ``delete`` takes
+the same lock so a force-delete cannot interleave with a commit and leave
+a half-deleted key.  ``fcntl`` locks die with their process (including
+``SIGKILL``), so a crashed writer never wedges the store — at worst it
+leaves a stale ``.*.tmp-<pid>-*`` staging file, swept by
+:meth:`ResultStore.sweep_stale_tmps` once the owning pid is gone.  On
+platforms without ``fcntl`` the lock degrades to a no-op and the store
+keeps the historical single-coordinator contract.
+
 **Failures.**  A job that raises leaves *no* artifact (the store only ever
 sees completed results); instead the runner records the exception and its
 traceback in a :class:`FailureLog` persisted next to the artifacts
@@ -34,7 +54,9 @@ its entry.
 
 from __future__ import annotations
 
+import contextlib
 import datetime
+import itertools
 import json
 import os
 import traceback as traceback_module
@@ -42,6 +64,11 @@ from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Optional, Union
 
 import numpy as np
+
+try:  # POSIX advisory locking; degrades to a no-op elsewhere.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
 
 import repro
 from repro.experiments.spec import JobSpec
@@ -67,12 +94,103 @@ def job_key(job: JobSpec, salt: Optional[str] = None) -> str:
     )
 
 
+#: Name of the advisory lock file at a store's root.
+LOCK_FILENAME = ".lock"
+
+#: Distinguishes staged temp files from concurrent writers in one process
+#: (threads, nested stores); the pid in the name distinguishes processes.
+_TMP_COUNTER = itertools.count()
+
+
+class StoreLock:
+    """Advisory cross-process write lock over one store root.
+
+    A thin context manager around ``fcntl.flock(LOCK_EX)`` on
+    ``<root>/.lock``.  Each acquisition opens its own file descriptor, so
+    the lock is safe to take from multiple threads of one process as well
+    as from unrelated processes; the kernel releases it when the holder's
+    descriptor closes — including on ``SIGKILL`` — so a dead writer can
+    never wedge the store.  Readers take no lock: artifact commits are
+    atomic renames, so a reader either sees a complete artifact or none.
+
+    On platforms without ``fcntl`` (:attr:`available` is ``False``)
+    :meth:`held` yields without locking and the store falls back to the
+    historical single-coordinating-process contract.
+    """
+
+    def __init__(self, root: Union[str, Path], name: str = LOCK_FILENAME) -> None:
+        self.path = Path(root) / name
+
+    @property
+    def available(self) -> bool:
+        """Whether real cross-process locking is in effect."""
+        return fcntl is not None
+
+    @contextlib.contextmanager
+    def held(self) -> Iterator[bool]:
+        """Hold the exclusive lock for the duration of the ``with`` body.
+
+        Yields ``True`` when the lock is really held, ``False`` on
+        platforms where locking is unavailable.
+        """
+        if fcntl is None:  # pragma: no cover - non-POSIX platforms
+            yield False
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "ab") as handle:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            try:
+                yield True
+            finally:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+
+
+def _stage_tmp(path: Path, writer) -> Path:
+    """Write ``path``'s future content to a uniquely-named sibling temp file.
+
+    The name encodes the writing pid (for :meth:`sweep_stale_tmps`) plus a
+    process-local counter (so threads never collide), and starts with a dot
+    so no artifact glob ever matches it.
+    """
+    tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}-{next(_TMP_COUNTER)}")
+    try:
+        with open(tmp, "wb") as handle:
+            writer(handle)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+    return tmp
+
+
+def _tmp_owner_pid(path: Path) -> Optional[int]:
+    """The pid encoded in a staged temp file's name (``None`` if foreign)."""
+    try:
+        return int(path.name.rsplit(".tmp-", 1)[1].split("-")[0])
+    except (IndexError, ValueError):
+        return None
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - other-user process
+        return True
+    return True
+
+
 class ResultStore:
-    """JSON/NPZ artifacts under one root directory, addressed by job key."""
+    """JSON/NPZ artifacts under one root directory, addressed by job key.
+
+    Safe for concurrent cross-process writers: see the module docstring's
+    *Concurrent writers* contract and :class:`StoreLock`.
+    """
 
     def __init__(self, root: Union[str, Path]) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.lock = StoreLock(self.root)
 
     # ------------------------------------------------------------------ #
     def json_path(self, key: str) -> Path:
@@ -100,17 +218,39 @@ class ResultStore:
     ) -> Path:
         """Atomically persist one job's payload (and optional exact arrays).
 
-        The NPZ sibling is written first so a reader that sees the JSON
-        document (the completion marker) always finds its arrays.
+        The NPZ sibling commits first so a reader that sees the JSON
+        document (the completion marker) always finds its arrays; both
+        commits happen under **one** hold of the store's write lock, so a
+        concurrent writer or force-delete can never interleave between
+        them.  When another writer committed this key while we were
+        staging, the staged copies are discarded: content addressing
+        guarantees the committed bytes are identical to ours, so keeping
+        the first commit and keeping the last are the same store.
         """
-        if arrays:
-            self._atomic_write(
-                self.npz_path(key),
-                lambda handle: np.savez_compressed(handle, **arrays),
-            )
         path = self.json_path(key)
         text = json.dumps(payload, indent=2, sort_keys=True, allow_nan=False)
-        self._atomic_write(path, lambda handle: handle.write(text.encode("utf-8")))
+        staged: List[tuple] = []
+        try:
+            if arrays:
+                staged.append((
+                    _stage_tmp(
+                        self.npz_path(key),
+                        lambda handle: np.savez_compressed(handle, **arrays),
+                    ),
+                    self.npz_path(key),
+                ))
+            staged.append((
+                _stage_tmp(path, lambda handle: handle.write(text.encode("utf-8"))),
+                path,
+            ))
+            with self.lock.held():
+                if not self.has(key):
+                    for tmp, target in staged:
+                        self._commit(tmp, target)
+                    staged = []
+        finally:
+            for tmp, _ in staged:  # writer raised, or we lost the race
+                tmp.unlink(missing_ok=True)
         return path
 
     def load(self, key: str) -> Dict[str, object]:
@@ -124,11 +264,17 @@ class ResultStore:
             return {name: data[name] for name in data.files}
 
     def delete(self, key: str) -> None:
-        for path in (self.json_path(key), self.npz_path(key), self.meta_path(key)):
-            try:
-                path.unlink()
-            except FileNotFoundError:
-                pass
+        """Remove one key's artifacts (JSON marker first, under the lock).
+
+        Taking the write lock makes a concurrent ``--force`` delete and a
+        racing commit serialise: either the commit lands first and the
+        delete removes the whole pair, or the delete wins and the commit
+        re-creates the pair — never a half-deleted key (a JSON document
+        whose NPZ sibling is gone).
+        """
+        with self.lock.held():
+            for path in (self.json_path(key), self.npz_path(key), self.meta_path(key)):
+                path.unlink(missing_ok=True)
 
     # ------------------------------------------------------------------ #
     def meta_path(self, key: str) -> Path:
@@ -161,15 +307,92 @@ class ResultStore:
             return {}
 
     # ------------------------------------------------------------------ #
+    def merge_from(
+        self,
+        other: "ResultStore",
+        keys: Optional[Iterable[str]] = None,
+        include_meta: bool = True,
+    ) -> List[str]:
+        """Copy artifacts from ``other`` into this store; returns new keys.
+
+        The remote-execution return path: a worker computes into its own
+        private store, then the coordinator folds the worker's artifacts
+        back into the main store.  Each key's NPZ+JSON pair commits under
+        one hold of *this* store's lock (same protocol as :meth:`save`),
+        and keys already present here are skipped — by content addressing
+        the bytes would be identical, so the skip is unobservable.  Meta
+        sidecars ride along by default (last-writer-wins; they are
+        reporting metadata, not addressed content).
+        """
+        merged: List[str] = []
+        for key in list(other.keys()) if keys is None else list(keys):
+            if not other.has(key) or self.has(key):
+                continue
+            staged: List[tuple] = []
+            try:
+                src_npz = other.npz_path(key)
+                if src_npz.exists():
+                    staged.append((
+                        _stage_tmp(
+                            self.npz_path(key),
+                            lambda handle, _p=src_npz: handle.write(_p.read_bytes()),
+                        ),
+                        self.npz_path(key),
+                    ))
+                src_json = other.json_path(key)
+                staged.append((
+                    _stage_tmp(
+                        self.json_path(key),
+                        lambda handle, _p=src_json: handle.write(_p.read_bytes()),
+                    ),
+                    self.json_path(key),
+                ))
+                with self.lock.held():
+                    if not self.has(key):  # re-check: racing merger/writer
+                        for tmp, target in staged:
+                            self._commit(tmp, target)
+                        staged = []
+                        merged.append(key)
+            finally:
+                for tmp, _ in staged:
+                    tmp.unlink(missing_ok=True)
+            if include_meta:
+                meta = other.load_meta(key)
+                if meta:
+                    self.save_meta(key, meta)
+        return merged
+
+    def sweep_stale_tmps(self) -> List[Path]:
+        """Remove staging files abandoned by dead writers; returns them.
+
+        A writer killed mid-stage (e.g. ``SIGKILL`` before its commit)
+        leaves a ``.*.tmp-<pid>-*`` file behind.  Those never corrupt the
+        store — commits are renames of *complete* temp files — but they
+        accumulate, so sweeps call this at startup.  Only files whose
+        owning pid is gone are removed; a live writer's staging is left
+        alone.  Runs under the lock so a sweep cannot race a commit.
+        """
+        removed: List[Path] = []
+        with self.lock.held():
+            for directory in (self.root, self.root / "meta", self.root / "failures"):
+                if not directory.is_dir():
+                    continue
+                for tmp in directory.glob(".*.tmp-*"):
+                    pid = _tmp_owner_pid(tmp)
+                    if pid is not None and pid != os.getpid() and not _pid_alive(pid):
+                        tmp.unlink(missing_ok=True)
+                        removed.append(tmp)
+        return removed
+
+    # ------------------------------------------------------------------ #
+    def _commit(self, tmp: Path, path: Path) -> None:
+        """Publish one staged temp file (call with the lock held)."""
+        os.replace(tmp, path)
+
     def _atomic_write(self, path: Path, writer) -> None:
-        tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
-        try:
-            with open(tmp, "wb") as handle:
-                writer(handle)
-            os.replace(tmp, path)
-        finally:
-            if tmp.exists():  # writer raised before the replace
-                tmp.unlink()
+        tmp = _stage_tmp(path, writer)
+        with self.lock.held():
+            self._commit(tmp, path)
 
 
 class FailureLog:
@@ -179,12 +402,18 @@ class FailureLog:
     the job spec, the error and its full traceback.  Entries are written
     atomically (a crash while logging a crash never corrupts the log) and
     cleared when the same key later completes successfully, so the log
-    always reflects the *current* set of unresolved failures.
+    always reflects the *current* set of unresolved failures.  Record and
+    clear both take the owning store's write lock (the same ``.lock`` the
+    artifact commits use), so uncoordinated workers logging failures
+    serialise with commits and with each other.
     """
 
     def __init__(self, store: Union[ResultStore, str, Path]) -> None:
         root = store.root if isinstance(store, ResultStore) else Path(store)
         self.root = root / "failures"
+        self.lock = (
+            store.lock if isinstance(store, ResultStore) else StoreLock(root)
+        )
 
     def path(self, key: str) -> Path:
         return self.root / f"{key}.json"
@@ -232,13 +461,13 @@ class FailureLog:
         self.root.mkdir(parents=True, exist_ok=True)
         path = self.path(key)
         text = json.dumps(entry, indent=2, sort_keys=True)
-        tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
+        tmp = _stage_tmp(path, lambda handle: handle.write(text.encode("utf-8")))
         try:
-            tmp.write_text(text)
-            os.replace(tmp, path)
-        finally:
-            if tmp.exists():
-                tmp.unlink()
+            with self.lock.held():
+                os.replace(tmp, path)
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
         return entry
 
     def load(self, key: str) -> Dict[str, object]:
@@ -248,10 +477,8 @@ class FailureLog:
         return [self.load(key) for key in self.keys()]
 
     def clear(self, key: str) -> None:
-        try:
-            self.path(key).unlink()
-        except FileNotFoundError:
-            pass
+        with self.lock.held():
+            self.path(key).unlink(missing_ok=True)
 
     # ------------------------------------------------------------------ #
     def age_seconds(self, key: str, now: Optional[float] = None) -> Optional[float]:

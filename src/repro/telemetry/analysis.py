@@ -320,6 +320,23 @@ def wave_stats(run: TraceRun) -> List[WaveStats]:
     return stats
 
 
+def exceeds_gates(
+    value: float, baseline: float, factor: float, min_gap: float
+) -> bool:
+    """The two-gate threshold shared by every "is this slow?" decision.
+
+    ``value`` is flagged only when it exceeds ``baseline`` by the
+    *relative* ``factor`` **and** by the *absolute* ``min_gap`` — so
+    seconds-fast smoke runs never flag noise (a 3× slowdown from 0.2 s
+    to 0.6 s fails the absolute gate) while real regressions trip both.
+    Used by :func:`find_stragglers`, ``trace regress``
+    (:func:`repro.telemetry.history.compare_records`) and the
+    ``RemoteExecutor``'s straggler re-dispatch trigger, so the three
+    consumers can never drift apart.
+    """
+    return value > factor * baseline and value - baseline > min_gap
+
+
 def find_stragglers(
     run: TraceRun, factor: float = 2.0, min_gap_s: float = 5.0
 ) -> List[Straggler]:
@@ -346,7 +363,7 @@ def find_stragglers(
         }
         median = statistics.median(busies.values())
         for stream, busy in sorted(busies.items()):
-            if busy > factor * median and busy - median > min_gap_s:
+            if exceeds_gates(busy, median, factor, min_gap_s):
                 shards = {e.shard for e in busy_by_stream[stream]}
                 stragglers.append(
                     Straggler(

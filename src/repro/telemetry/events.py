@@ -85,6 +85,16 @@ JOB_FAILED = "job_failed"     # key, kind, ..., duration_s, error
 JOB_CACHED = "job_cached"     # key, kind, index — store hit, nothing executed
 JOB_UPSTREAM_FAILED = "job_upstream_failed"  # key, cause_key, wave — not run
 
+#: Remote-executor shard lifecycle (emitted by the coordinating process).
+#: ``shard_dispatch`` marks an attempt leaving over the transport:
+#: ``wave``, ``shard``, ``attempt`` (0-based), ``transport``, ``jobs``.
+#: ``shard_redispatch`` marks a *backup* attempt for a shard still
+#: running — either the two-gate straggler trigger fired (``reason`` =
+#: ``"straggler"``), a finished attempt produced no result
+#: (``"no_result"``), or the caller forced one (``"forced"``).
+SHARD_DISPATCH = "shard_dispatch"
+SHARD_REDISPATCH = "shard_redispatch"  # ..., reason
+
 #: A named monotonic counter sample: ``name``, ``value``.
 COUNTER = "counter"
 
@@ -107,6 +117,7 @@ ALL_EVENTS = (
     PREWARM_START, PREWARM_FINISH,
     WAVE_START, WAVE_FINISH,
     JOB_START, JOB_FINISH, JOB_FAILED, JOB_CACHED, JOB_UPSTREAM_FAILED,
+    SHARD_DISPATCH, SHARD_REDISPATCH,
     COUNTER, RESOURCE_SAMPLE,
 )
 

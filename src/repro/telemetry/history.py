@@ -210,12 +210,14 @@ def compare_records(
         (("resources", "peak_rss_kb"), rss_factor, min_gap_rss_kb),
     ]
     regressions: List[Regression] = []
+    from repro.telemetry.analysis import exceeds_gates  # lazy: heavy deps
+
     for path, gate_factor, gate_gap in gates:
         base = metric_value(baseline, path)
         new = metric_value(latest, path)
         if base is None or new is None or base <= 0:
             continue
-        if new > gate_factor * base and new - base > gate_gap:
+        if exceeds_gates(new, base, gate_factor, gate_gap):
             regressions.append(
                 Regression(
                     metric=".".join(path),

@@ -1,0 +1,1 @@
+"""Reusable fault-injection harness for the concurrency test suite."""

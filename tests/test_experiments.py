@@ -468,7 +468,8 @@ class TestFailurePolicy:
         assert entry["index"] == 0 and entry["kind"] == "evaluate"
         # The failed job left no artifact, partial or otherwise.
         assert not store.has(keys[0])
-        leftovers = [p for p in store.root.iterdir() if p.name.startswith(".")]
+        leftovers = [p for p in store.root.iterdir()
+                     if p.name.startswith(".") and p.name != ".lock"]
         assert leftovers == []
 
     def test_tolerated_failure_skips_row_and_heals_on_rerun(
