@@ -1,0 +1,139 @@
+"""The array-ops backend shim: registry semantics and the numpy oracle.
+
+The tolerance contract itself (torch within ``BACKEND_RTOL`` of numpy on
+a real noisy evaluation) lives in
+``tests/test_mc_batched.py::TestTorchBackendTolerance`` and auto-skips
+without torch; everything here is torch-free and runs everywhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backend import (
+    ArrayOps,
+    NumpyOps,
+    active_backend_name,
+    active_ops,
+    available_backends,
+    register_backend,
+    set_backend,
+)
+from repro.utils.numeric import round_half_up
+from repro.utils.rng import new_rng
+
+
+@pytest.fixture(autouse=True)
+def reset_backend():
+    """Every test leaves the process on the numpy default."""
+    yield
+    set_backend("numpy")
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert "numpy" in available_backends()
+        assert "torch" in available_backends()
+
+    def test_default_is_numpy(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        set_backend(None)
+        assert active_backend_name() == "numpy"
+        assert active_ops().bit_exact
+
+    def test_env_selection(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "numpy")
+        assert set_backend(None).name == "numpy"
+
+    def test_unknown_name_lists_available(self):
+        with pytest.raises(ValueError, match="unknown array backend"):
+            set_backend("no-such-backend")
+        with pytest.raises(ValueError, match="numpy"):
+            set_backend("no-such-backend")
+
+    def test_unknown_env_backend_fails_on_resolve(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "no-such-backend")
+        with pytest.raises(ValueError, match="unknown array backend"):
+            set_backend(None)
+
+    def test_custom_registration_last_wins(self):
+        class Probe(NumpyOps):
+            name = "probe"
+
+        register_backend("probe", Probe)
+        try:
+            assert "probe" in available_backends()
+            assert isinstance(set_backend("probe"), Probe)
+            assert active_backend_name() == "probe"
+        finally:
+            # the registry is process-global: leave no probe behind the
+            # name, but a stale key is harmless (selection is by name).
+            set_backend("numpy")
+
+    def test_torch_selection_requires_torch(self):
+        """Selecting torch either works or raises the documented ImportError.
+
+        The dependency check happens at *selection* time, never at import
+        time — this test passes on machines with and without torch.
+        """
+        try:
+            ops = set_backend("torch")
+        except ImportError as err:
+            assert "torch" in str(err)
+        else:
+            assert ops.name == "torch"
+            assert not ops.bit_exact
+
+    def test_protocol_methods_are_abstract(self):
+        ops = ArrayOps()
+        with pytest.raises(NotImplementedError):
+            ops.matmul(np.ones((2, 2)), np.ones((2, 2)))
+        with pytest.raises(NotImplementedError):
+            ops.keyed_normal(0, 1.0, (2,))
+
+
+class TestNumpyOracle:
+    """NumpyOps must be the very numpy calls the kernels made pre-shim."""
+
+    def test_matmul_out_identity(self):
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((3, 4))
+        b = rng.standard_normal((4, 5))
+        out = np.empty((3, 5))
+        got = NumpyOps().matmul(a, b, out=out)
+        assert got is out
+        np.testing.assert_array_equal(out, a @ b)
+
+    def test_take_matches_numpy(self):
+        table = np.arange(10.0) * 1.5
+        indices = np.array([[0, 9], [3, 3]])
+        np.testing.assert_array_equal(
+            NumpyOps().take(table, indices), np.take(table, indices)
+        )
+
+    def test_bincount_minlength(self):
+        codes = np.array([0, 2, 2, 5])
+        got = NumpyOps().bincount(codes, minlength=8)
+        assert got.shape == (8,)
+        np.testing.assert_array_equal(got, np.bincount(codes, minlength=8))
+
+    def test_round_half_up_matches_utils(self):
+        values = np.array([-1.5, -0.5, 0.5, 1.5, 2.5])
+        np.testing.assert_array_equal(
+            NumpyOps().round_half_up(values), round_half_up(values)
+        )
+
+    def test_clip_min(self):
+        values = np.array([-2.0, 0.0, 3.0])
+        np.testing.assert_array_equal(
+            NumpyOps().clip_min(values, 0.0), np.maximum(values, 0.0)
+        )
+
+    def test_keyed_normal_is_new_rng_canonical(self):
+        got = NumpyOps().keyed_normal(1234, 0.5, (3, 4))
+        want = new_rng(1234).normal(0.0, 0.5, size=(3, 4))
+        np.testing.assert_array_equal(got, want)
+        # and keyed: same seed → same bytes, regardless of call order
+        again = NumpyOps().keyed_normal(1234, 0.5, (3, 4))
+        assert got.tobytes() == again.tobytes()
